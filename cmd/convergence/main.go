@@ -1,0 +1,78 @@
+// Command convergence runs the round-model convergence sweeps:
+//
+//	convergence -mode powerlaw -sizes 1000,10000,100000   # E4: LSN on α=2 power law
+//	convergence -mode shape -topo er -sizes 100,200,400   # E5: variant shapes + exponents
+//	convergence -mode state -sizes 100,200,400            # E8: memory vs LSN state
+//	convergence -mode stabilize -n 200                    # E9: perturbation recovery
+//	convergence -mode scheduler -n 100                    # A1: scheduler ablation
+//	convergence -mode degree -n 300                       # B1: rounds vs initial degree
+//	convergence -mode diameter -n 300                     # B2: rounds vs topology diameter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/graph"
+)
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// emit prints a report as text or CSV.
+func emit(r exp.Report, csv bool) {
+	if csv {
+		fmt.Print(r.CSV())
+		return
+	}
+	fmt.Println(r)
+}
+
+func main() {
+	mode := flag.String("mode", "powerlaw", "powerlaw | shape | state | stabilize | scheduler | degree | diameter")
+	sizesFlag := flag.String("sizes", "100,200,400,800", "comma-separated network sizes")
+	topo := flag.String("topo", string(graph.TopoER), "topology for -mode shape")
+	n := flag.Int("n", 200, "network size for single-size modes")
+	seeds := flag.Int("seeds", 3, "independent runs per configuration")
+	csv := flag.Bool("csv", false, "emit the result table as CSV instead of aligned text")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convergence:", err)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "powerlaw":
+		emit(exp.PowerLawConvergence(sizes, *seeds), *csv)
+	case "shape":
+		emit(exp.ConvergenceShape(sizes, graph.Topology(*topo), *seeds), *csv)
+	case "state":
+		emit(exp.StateSize(sizes, *seeds), *csv)
+	case "stabilize":
+		emit(exp.SelfStabilization(*n, 4, *seeds), *csv)
+	case "scheduler":
+		emit(exp.SchedulerAblation(*n, *seeds), *csv)
+	case "degree":
+		emit(exp.DegreeSweep(*n, []int{3, 4, 6, 8, 12}, *seeds), *csv)
+	case "diameter":
+		emit(exp.DiameterSweep(*n, *seeds), *csv)
+	default:
+		fmt.Fprintf(os.Stderr, "convergence: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

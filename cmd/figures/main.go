@@ -1,0 +1,39 @@
+// Command figures regenerates the paper's Figures 1–3 as executable
+// scenarios with ASCII renderings:
+//
+//	figures -fig 1    # the loopy state (E1) and how each mechanism fares
+//	figures -fig 2    # separate rings merged without flooding (E2)
+//	figures -fig 3    # the linearization algorithm at work, round by round (E3)
+//	figures -fig 0    # all of them
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 2, 3; 0 = all)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	switch *fig {
+	case 0:
+		fmt.Println(exp.Fig1Loopy(*seed))
+		fmt.Println(exp.Fig2SeparateRings(*seed))
+		fmt.Println(exp.Fig3Trace())
+		fmt.Println(exp.Fig3ClosedRing())
+	case 1:
+		fmt.Println(exp.Fig1Loopy(*seed))
+	case 2:
+		fmt.Println(exp.Fig2SeparateRings(*seed))
+	case 3:
+		fmt.Println(exp.Fig3Trace())
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %d (want 1, 2, 3 or 0)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,88 @@
+// Command ssrsim runs the message-level protocol experiments:
+//
+//	ssrsim -mode compare -sizes 16,32,64      # E6: ISPRP+flood vs linearization messages
+//	ssrsim -mode breakdown -n 32              # E6b: per-kind message mix
+//	ssrsim -mode route -n 24 -pairs 200       # E7: routing success + stretch
+//	ssrsim -mode occupancy -n 32              # E8b: cache interval occupancy
+//	ssrsim -mode closure -n 24                # E10: discovery redundancy
+//	ssrsim -mode vrr -n 24                    # E11: linearized VRR vs SSR
+//	ssrsim -mode churn -n 32 -kill 4          # E9b: churn recovery
+//	ssrsim -mode teardown -n 24               # A2: teardown ablation
+//	ssrsim -mode mobility -n 24               # E12: random-waypoint mobility
+//	ssrsim -mode loopy                        # E1b: scaled loopy states
+//	ssrsim -mode overlay -n 32 -pairs 300     # E13: Chord overlay vs SSR underlay
+//	ssrsim -mode dht -n 24                    # E14: DHT workload over SSR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/graph"
+)
+
+// emit prints a report as text or CSV.
+func emit(r exp.Report, csv bool) {
+	if csv {
+		fmt.Print(r.CSV())
+		return
+	}
+	fmt.Println(r)
+}
+
+func main() {
+	mode := flag.String("mode", "compare", "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht")
+	sizesFlag := flag.String("sizes", "16,24,32", "comma-separated network sizes for -mode compare")
+	topo := flag.String("topo", string(graph.TopoER), "physical topology")
+	n := flag.Int("n", 24, "network size for single-size modes")
+	pairs := flag.Int("pairs", 200, "routed pairs for -mode route (0 = all)")
+	kill := flag.Int("kill", 3, "nodes to fail for -mode churn")
+	seeds := flag.Int("seeds", 3, "independent runs per configuration")
+	csv := flag.Bool("csv", false, "emit the result table as CSV instead of aligned text")
+	seed := flag.Int64("seed", 1, "seed for single-run modes")
+	flag.Parse()
+
+	t := graph.Topology(*topo)
+	switch *mode {
+	case "compare":
+		var sizes []int
+		for _, part := range strings.Split(*sizesFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "ssrsim: bad size %q\n", part)
+				os.Exit(2)
+			}
+			sizes = append(sizes, v)
+		}
+		emit(exp.MessageCost(sizes, t, *seeds), *csv)
+	case "breakdown":
+		emit(exp.MessageBreakdown(*n, t, *seed), *csv)
+	case "route":
+		emit(exp.Routing(*n, t, *pairs, *seed), *csv)
+	case "occupancy":
+		emit(exp.CacheOccupancy(*n, t, *seed), *csv)
+	case "closure":
+		emit(exp.RingClosure(*n, t, *seeds), *csv)
+	case "vrr":
+		emit(exp.VRRBootstrap(*n, t, *seeds), *csv)
+	case "churn":
+		emit(exp.ChurnRecovery(*n, t, *kill, *seed), *csv)
+	case "teardown":
+		emit(exp.TeardownAblation(*n, t, *seeds), *csv)
+	case "mobility":
+		emit(exp.MobilityRecovery(*n, 1500, 0.02, *seeds), *csv)
+	case "loopy":
+		emit(exp.ScaledLoopy([]int{15, 63, 255}, 2, *seed), *csv)
+	case "overlay":
+		emit(exp.OverlayVsUnderlay(*n, t, *pairs, *seed), *csv)
+	case "dht":
+		emit(exp.DHTWorkload(*n, 80, t, *seed), *csv)
+	default:
+		fmt.Fprintf(os.Stderr, "ssrsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Dhtkv: a Chord-style key-value store on top of SSR's virtual ring — the
+// kind of MANET DHT substrate (Ekta, MADPastry) that motivates SSR in the
+// first place. Keys hash into the identifier space; the ring's successor
+// relation decides ownership; requests ride SSR anycast routing and
+// replicas go to the ring successor, so the store survives node failures.
+//
+//	go run ./examples/dhtkv
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssrlin "repro"
+	"repro/internal/dht"
+)
+
+func main() {
+	sim, err := ssrlin.NewSimulation(ssrlin.Options{
+		Topology: ssrlin.TopoER,
+		Nodes:    24,
+		Seed:     99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim.BootstrapSSR(ssrlin.SSRConfig{
+		CacheMode: ssrlin.BoundedCache, CloseRing: true, BothDirections: true,
+	})
+	if !res.Converged {
+		log.Fatalf("bootstrap failed: %+v", res)
+	}
+	fmt.Printf("ring consistent at t=%d; starting the DHT\n", res.Time)
+
+	store := dht.NewCluster(sim.SSR(), true /* replicate to successor */)
+	nodes := sim.NodeIDs()
+
+	// Populate from various nodes.
+	records := map[string]string{
+		"alice": "radio-7", "bob": "radio-12", "carol": "radio-3",
+		"dave": "radio-19", "erin": "radio-5", "frank": "radio-22",
+	}
+	i := 0
+	for k, v := range records {
+		if !store.Put(nodes[i%len(nodes)], k, v, 30000) {
+			log.Fatalf("put %s failed", k)
+		}
+		i++
+	}
+	fmt.Printf("stored %d records (with replicas: %d copies total)\n",
+		len(records), store.TotalKeys())
+
+	// Read everything back from one corner of the network.
+	reader := nodes[len(nodes)-1]
+	for k, want := range records {
+		got, ok := store.Get(reader, k, 30000)
+		owner, _ := store.Owner(k)
+		fmt.Printf("get %-5s -> %-9s (ok=%v, owner %s)\n", k, got, ok, owner)
+		if !ok || got != want {
+			log.Fatalf("lookup %s returned %q, want %q", k, got, want)
+		}
+	}
+
+	// Kill a record's owner; the replica at its ring successor takes over.
+	victim, _ := store.Owner("alice")
+	fmt.Printf("\nfailing alice's owner %s ...\n", victim)
+	sim.SSR().Leave(victim)
+	delete(store.Nodes, victim)
+	eng := sim.Network().Engine()
+	if _, ok := sim.SSR().RunUntilConsistent(eng.Now() + 600000); !ok {
+		log.Fatal("ring did not heal")
+	}
+	// Let the failure detector purge stale routes to the dead owner before
+	// the lookup (consistency precedes garbage collection).
+	eng.RunUntil(eng.Now()+8192, nil)
+	got, ok := store.Get(nodes[0], "alice", 60000)
+	fmt.Printf("get alice after owner failure -> %q (ok=%v)\n", got, ok)
+	if !ok {
+		log.Fatal("replica lookup failed")
+	}
+}

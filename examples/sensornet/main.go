@@ -1,0 +1,64 @@
+// Sensornet: SSR's motivating scenario — a wireless sensor/actuator network
+// (Fuhrmann, SECON 2005). Nodes are placed on the unit square and linked by
+// radio range (unit-disk graph); the virtual ring is bootstrapped with
+// linearization using *bounded* route caches (the LSN shortcut structure),
+// and a sink node then collects a reading from every sensor via greedy
+// source routing.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssrlin "repro"
+)
+
+func main() {
+	sim, err := ssrlin.NewSimulation(ssrlin.Options{
+		Topology: ssrlin.TopoUnitDisk,
+		Nodes:    64,
+		Seed:     5,
+		Latency:  2, // slower radio links
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sensor field: 64 radios, unit-disk links, bounded caches")
+	res := sim.BootstrapSSR(ssrlin.SSRConfig{
+		CacheMode:      ssrlin.BoundedCache, // O(log) state per sensor
+		CloseRing:      true,
+		BothDirections: true,
+	})
+	if !res.Converged {
+		log.Fatalf("bootstrap did not converge: %+v", res)
+	}
+	fmt.Printf("ring consistent at t=%d, %d messages\n", res.Time, res.Messages)
+
+	// Per-node state stays logarithmic — this is what makes SSR viable on
+	// constrained sensor hardware (and what LSN guarantees, §2).
+	maxEntries := 0
+	for _, n := range sim.SSR().Nodes {
+		if l := n.Cache().Len(); l > maxEntries {
+			maxEntries = l
+		}
+	}
+	fmt.Printf("largest route cache: %d entries (bound: 128 interval slots)\n\n", maxEntries)
+
+	// The sink (lowest address) polls every sensor.
+	sim.SSR().Stop()
+	nodes := sim.NodeIDs()
+	sink := nodes[0]
+	delivered, totalHops := 0, 0
+	for _, sensor := range nodes[1:] {
+		out := sim.Route(sink, sensor)
+		if out.Delivered {
+			delivered++
+			totalHops += out.Hops
+		}
+	}
+	fmt.Printf("sink polled %d/%d sensors, mean route length %.1f hops\n",
+		delivered, len(nodes)-1, float64(totalHops)/float64(delivered))
+}

@@ -1,0 +1,243 @@
+// Package chord implements the classic Chord overlay (Stoica et al.,
+// SIGCOMM 2001) as the comparator that motivates SSR: the paper's §1 builds
+// directly on Chord's virtual ring, and the SSR line of work exists because
+// overlay DHTs route without regard for the physical topology underneath.
+//
+// Nodes join through an existing member, then run the standard maintenance
+// loop — stabilize (reconcile successor/predecessor), notify, and
+// fix-fingers (finger[i] = successor(n + 2^i)) — until the ring and finger
+// tables are correct. Lookups use iterative closest-preceding-finger
+// routing, resolving in O(log n) overlay hops.
+//
+// The overlay abstraction is the point of the comparison: each overlay hop
+// is an end-to-end message between arbitrary nodes, which the underlay must
+// carry along a full physical path. The E13 experiment charges every
+// overlay hop its physical shortest-path length and compares the total
+// against SSR routing the same pairs natively in the underlay.
+package chord
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// M is the identifier width in bits (fingers per node).
+const M = 64
+
+// Node is one Chord participant. Fields are manipulated by the Ring's
+// protocol loop; read access is exported for experiments.
+type Node struct {
+	id      ids.ID
+	succ    ids.ID
+	pred    ids.ID
+	hasPred bool
+	fingers [M]ids.ID // fingers[i] targets successor(id + 2^i)
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Successor returns the current successor pointer.
+func (n *Node) Successor() ids.ID { return n.succ }
+
+// Predecessor returns the current predecessor pointer.
+func (n *Node) Predecessor() (ids.ID, bool) { return n.pred, n.hasPred }
+
+// Finger returns finger i (0 ≤ i < M).
+func (n *Node) Finger(i int) ids.ID { return n.fingers[i] }
+
+// Ring is a Chord overlay: the node set plus the protocol driver. The
+// overlay assumes any node can message any other directly (the IP
+// abstraction); the physical cost of that assumption is exactly what E13
+// measures.
+type Ring struct {
+	nodes map[ids.ID]*Node
+	// Hops counts overlay messages exchanged by protocol operations
+	// (joins, stabilization rounds, lookups) for accounting.
+	Hops int64
+}
+
+// NewRing bootstraps an overlay: the first node forms a singleton ring and
+// every subsequent node joins through it, followed by enough stabilization
+// rounds for all successor pointers to be exact.
+func NewRing(members []ids.ID) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("chord: empty member set")
+	}
+	r := &Ring{nodes: make(map[ids.ID]*Node, len(members))}
+	first := members[0]
+	r.nodes[first] = &Node{id: first, succ: first}
+	for _, v := range members[1:] {
+		if _, dup := r.nodes[v]; dup {
+			return nil, fmt.Errorf("chord: duplicate member %s", v)
+		}
+		r.join(v, first)
+	}
+	// Joins set provisional successors; stabilization makes them exact and
+	// populates predecessors. Run to quiescence (bounded well above the
+	// worst case for a sequential join wave).
+	for i := 0; i < 4*len(members)+4; i++ {
+		if r.StabilizeRound() == 0 {
+			break
+		}
+	}
+	r.FixAllFingers()
+	return r, nil
+}
+
+// Nodes returns the member identifiers in ascending order.
+func (r *Ring) Nodes() []ids.ID {
+	out := make([]ids.ID, 0, len(r.nodes))
+	for v := range r.nodes {
+		out = append(out, v)
+	}
+	ids.SortAsc(out)
+	return out
+}
+
+// Node exposes a member for inspection.
+func (r *Ring) Node(v ids.ID) *Node { return r.nodes[v] }
+
+// join inserts v via the gateway: v's successor is found with a lookup
+// from the gateway, exactly as in the Chord paper.
+func (r *Ring) join(v ids.ID, gateway ids.ID) {
+	succ, _ := r.Lookup(gateway, v)
+	n := &Node{id: v, succ: succ}
+	r.nodes[v] = n
+}
+
+// StabilizeRound runs one round of the Chord maintenance protocol at every
+// node: ask your successor for its predecessor, adopt it if it sits between
+// you, then notify the successor of your existence. It returns the number
+// of pointer changes (0 at the fixed point).
+func (r *Ring) StabilizeRound() int {
+	changes := 0
+	for _, v := range r.Nodes() {
+		n := r.nodes[v]
+		s := r.nodes[n.succ]
+		r.Hops++ // get-predecessor
+		if s.hasPred && s.pred != v && ids.Between(s.pred, v, n.succ) {
+			n.succ = s.pred
+			s = r.nodes[n.succ]
+			changes++
+		}
+		// notify(successor, v)
+		r.Hops++
+		if !s.hasPred || ids.Between(v, s.pred, s.id) {
+			if !s.hasPred || s.pred != v {
+				changes++
+			}
+			s.pred = v
+			s.hasPred = true
+		}
+	}
+	return changes
+}
+
+// FixAllFingers runs fix-fingers to completion at every node: finger[i] :=
+// successor(id + 2^i), found by lookup through the current overlay.
+func (r *Ring) FixAllFingers() {
+	for _, v := range r.Nodes() {
+		n := r.nodes[v]
+		for i := 0; i < M; i++ {
+			target := ids.ID(uint64(v) + 1<<uint(i))
+			n.fingers[i], _ = r.Lookup(v, target)
+		}
+	}
+}
+
+// closestPreceding returns the finger (or successor) of n that most closely
+// precedes key, the Chord routing step.
+func (r *Ring) closestPreceding(n *Node, key ids.ID) ids.ID {
+	for i := M - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if _, ok := r.nodes[f]; ok && f != n.id && ids.Between(f, n.id, key) {
+			return f
+		}
+	}
+	if n.succ != n.id && ids.Between(n.succ, n.id, key) {
+		return n.succ
+	}
+	return n.id
+}
+
+// Lookup resolves the owner of key (its ring successor) starting from the
+// given node, returning the owner and the overlay path taken (inclusive of
+// the start, exclusive of the final owner-successor handoff). Ring.Hops is
+// charged one per overlay hop.
+func (r *Ring) Lookup(from ids.ID, key ids.ID) (owner ids.ID, path []ids.ID) {
+	cur := r.nodes[from]
+	path = append(path, from)
+	for hop := 0; hop < 2*M; hop++ {
+		// Owner test: key in (cur, cur.succ].
+		if cur.succ == cur.id || ids.BetweenIncl(key, cur.id, cur.succ) {
+			r.Hops++
+			return cur.succ, path
+		}
+		next := r.closestPreceding(cur, key)
+		if next == cur.id {
+			// No finger precedes the key: hand to the successor.
+			next = cur.succ
+		}
+		r.Hops++
+		cur = r.nodes[next]
+		path = append(path, next)
+	}
+	// Routing failed to terminate (should not happen on a correct ring).
+	return cur.id, path
+}
+
+// Correct verifies the overlay invariants against the oracle: every
+// successor/predecessor pointer exact, every finger the true successor of
+// its target.
+func (r *Ring) Correct() error {
+	members := r.Nodes()
+	succOf := func(x ids.ID) ids.ID {
+		// First member at or after x, wrapping.
+		best := members[0]
+		found := false
+		for _, v := range members {
+			if !found || ids.RingDist(x, v) < ids.RingDist(x, best) {
+				best = v
+				found = true
+			}
+		}
+		return best
+	}
+	for i, v := range members {
+		n := r.nodes[v]
+		wantSucc := members[(i+1)%len(members)]
+		if len(members) == 1 {
+			wantSucc = v
+		}
+		if n.succ != wantSucc {
+			return fmt.Errorf("chord: %s succ = %s, want %s", v, n.succ, wantSucc)
+		}
+		wantPred := members[(i-1+len(members))%len(members)]
+		if len(members) > 1 && (!n.hasPred || n.pred != wantPred) {
+			return fmt.Errorf("chord: %s pred = %s, want %s", v, n.pred, wantPred)
+		}
+		for k := 0; k < M; k++ {
+			target := ids.ID(uint64(v) + 1<<uint(k))
+			if want := succOf(target); n.fingers[k] != want {
+				return fmt.Errorf("chord: %s finger[%d] = %s, want %s", v, k, n.fingers[k], want)
+			}
+		}
+	}
+	return nil
+}
+
+// Owner returns the key's owner per the oracle (for tests).
+func (r *Ring) Owner(key ids.ID) ids.ID {
+	members := r.Nodes()
+	best := members[0]
+	found := false
+	for _, v := range members {
+		if !found || ids.RingDist(key, v) < ids.RingDist(key, best) {
+			best = v
+			found = true
+		}
+	}
+	return best
+}

@@ -1,0 +1,158 @@
+package chord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+func ringOf(t *testing.T, n int, seed int64) *Ring {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	members := graph.MakeIDs(n, graph.RandomIDs, r)
+	ring, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring
+}
+
+func TestRingFormsCorrectly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 40, 100} {
+		ring := ringOf(t, n, int64(n))
+		if err := ring.Correct(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestEmptyAndDuplicateRejected(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty member set must error")
+	}
+	if _, err := NewRing([]ids.ID{5, 7, 5}); err == nil {
+		t.Error("duplicate member must error")
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	ring := ringOf(t, 50, 3)
+	members := ring.Nodes()
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		key := ids.ID(r.Uint64())
+		from := members[r.Intn(len(members))]
+		owner, path := ring.Lookup(from, key)
+		if want := ring.Owner(key); owner != want {
+			t.Fatalf("Lookup(%s) = %s, want %s (path %v)", key, owner, want, path)
+		}
+		if len(path) == 0 || path[0] != from {
+			t.Fatalf("path must start at the origin: %v", path)
+		}
+	}
+}
+
+func TestLookupForMemberKeyReturnsMember(t *testing.T) {
+	ring := ringOf(t, 20, 5)
+	for _, v := range ring.Nodes() {
+		owner, _ := ring.Lookup(ring.Nodes()[0], v)
+		if owner != v {
+			t.Errorf("owner of member key %s = %s", v, owner)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	// Chord's headline bound: O(log n) overlay hops per lookup.
+	ring := ringOf(t, 256, 7)
+	members := ring.Nodes()
+	r := rand.New(rand.NewSource(11))
+	maxHops := 0
+	total := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		key := ids.ID(r.Uint64())
+		from := members[r.Intn(len(members))]
+		_, path := ring.Lookup(from, key)
+		if len(path) > maxHops {
+			maxHops = len(path)
+		}
+		total += len(path)
+	}
+	logN := math.Log2(float64(len(members)))
+	if float64(maxHops) > 3*logN {
+		t.Errorf("max overlay hops %d exceeds 3·log2(n)=%.1f", maxHops, 3*logN)
+	}
+	mean := float64(total) / trials
+	if mean > 1.5*logN {
+		t.Errorf("mean hops %.1f exceeds 1.5·log2(n)=%.1f", mean, 1.5*logN)
+	}
+	t.Logf("n=256 lookup hops: mean %.2f, max %d (log2 n = %.1f)", mean, maxHops, logN)
+}
+
+func TestStabilizeQuiesces(t *testing.T) {
+	ring := ringOf(t, 30, 13)
+	if ch := ring.StabilizeRound(); ch != 0 {
+		t.Errorf("stable ring reported %d changes", ch)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	ring := ringOf(t, 4, 17)
+	members := ring.Nodes()
+	n := ring.Node(members[1])
+	if n.ID() != members[1] {
+		t.Error("ID broken")
+	}
+	if n.Successor() != members[2] {
+		t.Errorf("Successor = %v, want %v", n.Successor(), members[2])
+	}
+	if p, ok := n.Predecessor(); !ok || p != members[0] {
+		t.Errorf("Predecessor = %v,%v", p, ok)
+	}
+	if n.Finger(0) == 0 && ring.Node(n.Finger(0)) == nil {
+		t.Log("finger 0 may legitimately be any member")
+	}
+	if ring.Hops == 0 {
+		t.Error("protocol accounting should be non-zero after bootstrap")
+	}
+}
+
+func TestSingletonRing(t *testing.T) {
+	ring, err := NewRing([]ids.ID{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, path := ring.Lookup(42, 7)
+	if owner != 42 || len(path) != 1 {
+		t.Errorf("singleton lookup = %v, %v", owner, path)
+	}
+	if err := ring.Correct(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupOwnerProperty(t *testing.T) {
+	ring := ringOf(t, 64, 23)
+	members := ring.Nodes()
+	f := func(keyRaw uint64, fromIdx uint8) bool {
+		key := ids.ID(keyRaw)
+		from := members[int(fromIdx)%len(members)]
+		owner, _ := ring.Lookup(from, key)
+		// Ownership invariant: no member lies in (key, owner) — owner is
+		// the first member at or after key.
+		for _, v := range members {
+			if v != owner && ids.Between(v, key-1, owner) && ids.RingDist(key, v) < ids.RingDist(key, owner) {
+				return false
+			}
+		}
+		return owner == ring.Owner(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package dht is a Chord-style key-value store running on top of SSR's
+// virtual ring — the class of application the SSR line of work targets
+// (DHT substrates for MANETs: Ekta, MADPastry; both cited in the paper).
+//
+// Keys are hashed into the 64-bit identifier space; the owner of a key is
+// the first node clockwise at or after it on the virtual ring (successor
+// ownership). Requests ride SSR's anycast routing to the owner; responses
+// ride unicast routing back to the requester. Optionally every key is
+// replicated to the owner's ring successor, so a single node failure loses
+// nothing.
+//
+// The package exists for two reasons: it is the natural "example
+// application" demonstrating that the linearization-bootstrapped ring is
+// actually usable, and its tests double as end-to-end validation of SSR's
+// anycast semantics.
+package dht
+
+import (
+	"hash/fnv"
+
+	"repro/internal/ids"
+	"repro/internal/sim"
+	"repro/internal/ssr"
+)
+
+// HashKey maps an application key into the identifier space: FNV-1a
+// followed by a splitmix64-style finalizer. The finalizer matters — plain
+// FNV of short keys differing in the trailing byte clusters in the high
+// bits, which would pile all such keys onto one ring owner.
+func HashKey(key string) ids.ID {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return ids.ID(x)
+}
+
+// opKind enumerates DHT operations.
+type opKind uint8
+
+const (
+	opPut opKind = iota
+	opGet
+	opReplicate
+	opReply
+)
+
+// request is the wire format riding SSR data packets.
+type request struct {
+	Op    opKind
+	Key   string
+	Value string
+	// ReqID correlates the reply with the caller's pending table.
+	ReqID uint64
+	// Requester is where the reply goes.
+	Requester ids.ID
+	// Found distinguishes a hit from a miss on replies.
+	Found bool
+}
+
+// Node is the DHT layer of one SSR node.
+type Node struct {
+	ssr   *ssr.Node
+	store map[string]string
+
+	nextReq uint64
+	pending map[uint64]func(value string, found bool)
+
+	// Replicate mirrors every stored key to the ring successor.
+	Replicate bool
+}
+
+// Attach layers a DHT node over an SSR node, hooking its delivery callback.
+// Call after the SSR node exists but at any time relative to bootstrap.
+func Attach(s *ssr.Node) *Node {
+	n := &Node{
+		ssr:     s,
+		store:   make(map[string]string),
+		pending: make(map[uint64]func(string, bool)),
+	}
+	s.OnDeliver = n.onDeliver
+	return n
+}
+
+// SSR returns the underlying routing node.
+func (n *Node) SSR() *ssr.Node { return n.ssr }
+
+// Len returns the number of keys stored locally (owned + replicas).
+func (n *Node) Len() int { return len(n.store) }
+
+// LocalGet reads the local store directly (for tests and inspection).
+func (n *Node) LocalGet(key string) (string, bool) {
+	v, ok := n.store[key]
+	return v, ok
+}
+
+// Put stores key=value at the key's owner. done (optional) fires when the
+// owner's acknowledgment arrives. It reports whether the request could be
+// sent.
+func (n *Node) Put(key, value string, done func()) bool {
+	var cb func(string, bool)
+	if done != nil {
+		cb = func(string, bool) { done() }
+	}
+	reqID := n.track(cb)
+	return n.ssr.SendAnycast(HashKey(key), request{
+		Op: opPut, Key: key, Value: value, ReqID: reqID, Requester: n.ssr.ID(),
+	})
+}
+
+// Get fetches the value for key from its owner; done fires with the value
+// (or found=false). It reports whether the request could be sent.
+func (n *Node) Get(key string, done func(value string, found bool)) bool {
+	reqID := n.track(done)
+	return n.ssr.SendAnycast(HashKey(key), request{
+		Op: opGet, Key: key, ReqID: reqID, Requester: n.ssr.ID(),
+	})
+}
+
+func (n *Node) track(cb func(string, bool)) uint64 {
+	n.nextReq++
+	if cb != nil {
+		n.pending[n.nextReq] = cb
+	}
+	return n.nextReq
+}
+
+// onDeliver handles both anycast requests (we are the key's owner) and
+// unicast replies (we are the requester).
+func (n *Node) onDeliver(d ssr.Delivery) {
+	req, ok := d.Body.(request)
+	if !ok {
+		return
+	}
+	switch req.Op {
+	case opPut:
+		n.store[req.Key] = req.Value
+		n.replicate(req.Key, req.Value)
+		n.reply(req, "", true)
+	case opGet:
+		v, found := n.store[req.Key]
+		n.reply(req, v, found)
+	case opReplicate:
+		n.store[req.Key] = req.Value
+	case opReply:
+		if cb, exists := n.pending[req.ReqID]; exists {
+			delete(n.pending, req.ReqID)
+			cb(req.Value, req.Found)
+		}
+	}
+}
+
+// replicate mirrors a key to the ring successor when enabled.
+func (n *Node) replicate(key, value string) {
+	if !n.Replicate {
+		return
+	}
+	succ, ok := n.ssr.Successor()
+	if !ok {
+		return
+	}
+	n.ssr.SendData(succ, request{Op: opReplicate, Key: key, Value: value})
+}
+
+// reply routes the response back to the requester by exact identifier.
+func (n *Node) reply(req request, value string, found bool) {
+	resp := request{Op: opReply, Key: req.Key, Value: value, ReqID: req.ReqID, Found: found}
+	if req.Requester == n.ssr.ID() {
+		// Local request: complete synchronously.
+		n.onDeliver(ssr.Delivery{Origin: n.ssr.ID(), Dst: n.ssr.ID(), Body: resp})
+		return
+	}
+	n.ssr.SendData(req.Requester, resp)
+}
+
+// Cluster glues a DHT node onto every member of an SSR cluster and offers
+// synchronous-looking helpers that drive the simulation until a response
+// arrives.
+type Cluster struct {
+	SSR   *ssr.Cluster
+	Nodes map[ids.ID]*Node
+}
+
+// NewCluster attaches DHT nodes to an entire (typically already
+// bootstrapped) SSR cluster.
+func NewCluster(c *ssr.Cluster, replicate bool) *Cluster {
+	d := &Cluster{SSR: c, Nodes: make(map[ids.ID]*Node, len(c.Nodes))}
+	for v, s := range c.Nodes {
+		n := Attach(s)
+		n.Replicate = replicate
+		d.Nodes[v] = n
+	}
+	return d
+}
+
+// Put issues a put from the given node and runs the engine until the ack
+// or the deadline. It reports success.
+func (d *Cluster) Put(from ids.ID, key, value string, deadline sim.Time) bool {
+	n, ok := d.Nodes[from]
+	if !ok {
+		return false
+	}
+	done := false
+	if !n.Put(key, value, func() { done = true }) {
+		return false
+	}
+	d.runUntil(&done, deadline)
+	return done
+}
+
+// Get issues a get from the given node and runs the engine until the reply
+// or the deadline.
+func (d *Cluster) Get(from ids.ID, key string, deadline sim.Time) (string, bool) {
+	n, ok := d.Nodes[from]
+	if !ok {
+		return "", false
+	}
+	var value string
+	found := false
+	done := false
+	if !n.Get(key, func(v string, f bool) { value, found, done = v, f, true }) {
+		return "", false
+	}
+	d.runUntil(&done, deadline)
+	return value, found && done
+}
+
+func (d *Cluster) runUntil(done *bool, deadline sim.Time) {
+	eng := d.SSR.Net.Engine()
+	stop := eng.Now() + deadline
+	for win := eng.Now() + 16; !*done; win += 16 {
+		if win > stop {
+			win = stop
+		}
+		eng.RunUntil(win, func() bool { return *done })
+		if *done || win >= stop || eng.Pending() == 0 {
+			return
+		}
+	}
+}
+
+// Owner returns which live node currently owns the key (oracle view, for
+// tests): the first node clockwise at or after the key's hash.
+func (d *Cluster) Owner(key string) (ids.ID, bool) {
+	k := HashKey(key)
+	var best ids.ID
+	found := false
+	for v := range d.Nodes {
+		if !found || ids.RingDist(k, v) < ids.RingDist(k, best) {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TotalKeys sums stored keys across all nodes (owned + replicas).
+func (d *Cluster) TotalKeys() int {
+	total := 0
+	for _, n := range d.Nodes {
+		total += n.Len()
+	}
+	return total
+}

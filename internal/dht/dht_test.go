@@ -1,0 +1,198 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/ssr"
+)
+
+func bootstrappedDHT(t *testing.T, n int, seed int64, replicate bool) (*phys.Network, *Cluster) {
+	t.Helper()
+	topo, err := graph.Generate(graph.TopoER, n, graph.RandomIDs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := phys.NewNetwork(sim.NewEngine(seed), topo)
+	cl := ssr.NewCluster(net, ssr.Config{
+		CacheMode: cache.Bounded, CloseRing: true, BothDirections: true,
+	})
+	if _, ok := cl.RunUntilConsistent(sim.Time(n) * 8192); !ok {
+		t.Fatal("SSR bootstrap failed")
+	}
+	return net, NewCluster(cl, replicate)
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashKey("alpha") != HashKey("alpha") {
+		t.Error("hash must be deterministic")
+	}
+	if HashKey("alpha") == HashKey("beta") {
+		t.Error("different keys should (overwhelmingly) hash differently")
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	_, d := bootstrappedDHT(t, 16, 3, false)
+	nodes := d.SSR.Net.Topology().Nodes()
+	if !d.Put(nodes[0], "color", "green", 20000) {
+		t.Fatal("put failed")
+	}
+	// Read back from a different node.
+	v, ok := d.Get(nodes[len(nodes)-1], "color", 20000)
+	if !ok || v != "green" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	// Missing key is a miss, not an error.
+	if _, ok := d.Get(nodes[2], "nope", 20000); ok {
+		t.Error("missing key should report found=false")
+	}
+	// Overwrite.
+	d.Put(nodes[3], "color", "blue", 20000)
+	if v, _ := d.Get(nodes[5], "color", 20000); v != "blue" {
+		t.Errorf("overwrite failed: %q", v)
+	}
+}
+
+func TestKeyLandsAtOwner(t *testing.T) {
+	_, d := bootstrappedDHT(t, 20, 7, false)
+	nodes := d.SSR.Net.Topology().Nodes()
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if !d.Put(nodes[i%len(nodes)], key, "v", 20000) {
+			t.Fatalf("put %s failed", key)
+		}
+		owner, _ := d.Owner(key)
+		if _, ok := d.Nodes[owner].LocalGet(key); !ok {
+			t.Errorf("key %s (hash %s) not stored at owner %s", key, HashKey(key), owner)
+		}
+	}
+}
+
+func TestManyKeysDistributeAcrossNodes(t *testing.T) {
+	_, d := bootstrappedDHT(t, 20, 11, false)
+	nodes := d.SSR.Net.Topology().Nodes()
+	const keys = 60
+	for i := 0; i < keys; i++ {
+		if !d.Put(nodes[i%len(nodes)], fmt.Sprintf("k%03d", i), "v", 20000) {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+	if d.TotalKeys() != keys {
+		t.Errorf("stored %d keys, want %d", d.TotalKeys(), keys)
+	}
+	holders := 0
+	for _, n := range d.Nodes {
+		if n.Len() > 0 {
+			holders++
+		}
+	}
+	if holders < 5 {
+		t.Errorf("keys concentrated on %d nodes — distribution broken", holders)
+	}
+}
+
+func TestReplicationSurvivesOwnerFailure(t *testing.T) {
+	net, d := bootstrappedDHT(t, 18, 13, true)
+	nodes := d.SSR.Net.Topology().Nodes()
+	const key = "precious"
+	if !d.Put(nodes[0], key, "data", 30000) {
+		t.Fatal("put failed")
+	}
+	// Let the replication packet land.
+	net.Engine().RunUntil(net.Engine().Now()+2000, nil)
+	owner, _ := d.Owner(key)
+	// The replica must exist at some other node.
+	replicas := 0
+	for v, n := range d.Nodes {
+		if _, ok := n.LocalGet(key); ok && v != owner {
+			replicas++
+		}
+	}
+	if replicas == 0 {
+		t.Fatal("no replica stored")
+	}
+	// Kill the owner (keep the physical graph connected).
+	after := net.Topology().Clone()
+	after.RemoveNode(owner)
+	if !after.Connected() {
+		t.Skip("owner removal would partition this topology")
+	}
+	d.SSR.Leave(owner)
+	delete(d.Nodes, owner)
+	if _, ok := d.SSR.RunUntilConsistent(net.Engine().Now() + 600000); !ok {
+		t.Fatal("ring did not heal after owner failure")
+	}
+	// The new owner of the key is the failed owner's successor, which holds
+	// the replica; a fresh Get must succeed.
+	var from ids.ID
+	for v := range d.Nodes {
+		from = v
+		break
+	}
+	v, ok := d.Get(from, key, 60000)
+	if !ok || v != "data" {
+		t.Fatalf("get after owner failure = %q, %v", v, ok)
+	}
+}
+
+func TestGetFromOwnerItself(t *testing.T) {
+	_, d := bootstrappedDHT(t, 12, 17, false)
+	const key = "self"
+	nodes := d.SSR.Net.Topology().Nodes()
+	if !d.Put(nodes[0], key, "x", 20000) {
+		t.Fatal("put failed")
+	}
+	owner, _ := d.Owner(key)
+	v, ok := d.Get(owner, key, 20000)
+	if !ok || v != "x" {
+		t.Fatalf("owner-local get = %q, %v", v, ok)
+	}
+}
+
+func TestClusterHelpersRejectUnknownNode(t *testing.T) {
+	_, d := bootstrappedDHT(t, 10, 19, false)
+	if d.Put(12345, "k", "v", 1000) {
+		t.Error("put from unknown node must fail")
+	}
+	if _, ok := d.Get(12345, "k", 1000); ok {
+		t.Error("get from unknown node must fail")
+	}
+}
+
+func TestHashKeyUniformityProperty(t *testing.T) {
+	// The finalized hash must spread short sequential keys across the id
+	// space: bucket 4096 keys into 16 ranges and require every bucket to be
+	// reasonably populated (plain FNV fails this badly for such keys).
+	const keys = 4096
+	const buckets = 16
+	var counts [buckets]int
+	for i := 0; i < keys; i++ {
+		h := HashKey(fmt.Sprintf("key-%05d", i))
+		counts[uint64(h)>>60]++
+	}
+	want := keys / buckets
+	for b, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("bucket %d has %d keys, want ~%d", b, c, want)
+		}
+	}
+}
+
+func TestHashKeyQuickProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == b {
+			return HashKey(a) == HashKey(b)
+		}
+		return HashKey(a) != HashKey(b) // collisions astronomically unlikely
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

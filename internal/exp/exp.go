@@ -1,0 +1,50 @@
+// Package exp implements the paper's experiments: each function reproduces
+// one figure or quantitative claim (see DESIGN.md's per-experiment index)
+// and returns a Report with the same rows/series the paper's evaluation
+// would print. The cmd/ tools and the root benchmark suite are thin
+// wrappers around this package.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Report is one experiment's rendered outcome.
+type Report struct {
+	ID    string // experiment id, e.g. "E4"
+	Title string
+	Table *metrics.Table
+	Notes []string
+	Text  string // free-form rendered content (traces, figures)
+}
+
+// CSV renders the report's table as comma-separated values (empty when the
+// report has no table).
+func (r Report) CSV() string {
+	if r.Table == nil {
+		return ""
+	}
+	return r.Table.CSV()
+}
+
+// String renders the report for terminals and logs.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+	}
+	if r.Text != "" {
+		b.WriteString(r.Text)
+		if !strings.HasSuffix(r.Text, "\n") {
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+// Package floodboot is the brute-force bootstrap baseline: every node
+// floods its identifier once over the physical network, so eventually every
+// node knows every identifier and can compute its ring neighbors locally by
+// sorting. It trivially achieves global consistency — at O(n·E) message
+// cost and Θ(n) state per node, which is exactly the expense ISPRP's single
+// representative flood reduces and linearization eliminates. The E6x
+// experiment uses it as the upper anchor of the message-cost comparison.
+package floodboot
+
+import (
+	"repro/internal/ids"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/sroute"
+	"repro/internal/vring"
+)
+
+// KindAnnounce is the counter kind for flood frames.
+const KindAnnounce = "floodboot:announce"
+
+// announce is the flooded payload: the origin and the physical path the
+// frame traveled (so receivers also learn a source route back).
+type announce struct {
+	Origin ids.ID
+	Path   []ids.ID
+}
+
+// Node is one participant.
+type Node struct {
+	id    ids.ID
+	net   *phys.Network
+	known ids.Set
+	// routes keeps one source route per learned identifier (shortest seen).
+	routes map[ids.ID]sroute.Route
+}
+
+// NewNode creates and registers a flood-bootstrap node.
+func NewNode(net *phys.Network, id ids.ID) *Node {
+	n := &Node{id: id, net: net, known: ids.NewSet(id), routes: make(map[ids.ID]sroute.Route)}
+	net.Register(id, phys.HandlerFunc(n.handle))
+	return n
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Known returns every identifier this node has learned (itself included).
+func (n *Node) Known() []ids.ID { return n.known.Sorted() }
+
+// RouteTo returns the learned source route to v, or nil.
+func (n *Node) RouteTo(v ids.ID) sroute.Route { return n.routes[v] }
+
+// Successor computes the ring successor from local knowledge.
+func (n *Node) Successor() (ids.ID, bool) {
+	best := n.id
+	found := false
+	for v := range n.known {
+		if v == n.id {
+			continue
+		}
+		if !found || ids.RingDist(n.id, v) < ids.RingDist(n.id, best) {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Start floods this node's identifier.
+func (n *Node) Start() {
+	n.net.Broadcast(n.id, KindAnnounce, announce{Origin: n.id, Path: []ids.ID{n.id}})
+}
+
+func (n *Node) handle(m phys.Message) {
+	a, ok := m.Payload.(announce)
+	if !ok {
+		return
+	}
+	full := append(append([]ids.ID(nil), a.Path...), n.id)
+	if back := sroute.Route(full).Reverse().ElideLoops(); len(back) >= 2 {
+		if old, exists := n.routes[a.Origin]; !exists || back.Hops() < old.Hops() {
+			n.routes[a.Origin] = back
+		}
+	}
+	if !n.known.Add(a.Origin) {
+		return // duplicate: suppress the re-flood
+	}
+	n.net.Broadcast(n.id, KindAnnounce, announce{Origin: a.Origin, Path: full})
+}
+
+// StateSize returns the per-node state in identifiers plus route entries —
+// Θ(n), the cost of full knowledge.
+func (n *Node) StateSize() int { return n.known.Len() + len(n.routes) }
+
+// Cluster drives floodboot over a network.
+type Cluster struct {
+	Net   *phys.Network
+	Nodes map[ids.ID]*Node
+}
+
+// NewCluster creates and starts one node per topology member.
+func NewCluster(net *phys.Network) *Cluster {
+	c := &Cluster{Net: net, Nodes: make(map[ids.ID]*Node)}
+	for _, v := range net.Topology().Nodes() {
+		c.Nodes[v] = NewNode(net, v)
+	}
+	for _, n := range c.Nodes {
+		n.Start()
+	}
+	return c
+}
+
+// SuccMap snapshots the locally computed successor pointers.
+func (c *Cluster) SuccMap() vring.SuccMap {
+	s := make(vring.SuccMap, len(c.Nodes))
+	for v, n := range c.Nodes {
+		if succ, ok := n.Successor(); ok {
+			s[v] = succ
+		}
+	}
+	return s
+}
+
+// Consistent reports whether every node's local knowledge yields the
+// globally consistent ring.
+func (c *Cluster) Consistent() bool {
+	if len(c.Nodes) < 2 {
+		return true
+	}
+	all := make([]ids.ID, 0, len(c.Nodes))
+	for v := range c.Nodes {
+		all = append(all, v)
+	}
+	return c.SuccMap().GloballyConsistent(all)
+}
+
+// RunUntilConsistent drives the engine until consistency or the deadline.
+func (c *Cluster) RunUntilConsistent(deadline sim.Time) (sim.Time, bool) {
+	eng := c.Net.Engine()
+	const checkEvery = sim.Time(8)
+	for next := eng.Now() + checkEvery; ; next += checkEvery {
+		if next > deadline {
+			next = deadline
+		}
+		eng.RunUntil(next, nil)
+		if c.Consistent() {
+			return eng.Now(), true
+		}
+		if next >= deadline || eng.Pending() == 0 {
+			return eng.Now(), c.Consistent()
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package isprp implements the Iterative Successor Pointer Rewiring
+// Protocol — the bootstrap mechanism SSR originally used and the baseline
+// that linearization replaces (§3).
+//
+// Each node maintains a pointer to its presumed ring successor and
+// periodically sends it a notification message (carrying a source route, so
+// the successor learns a route back). A node that detects a local
+// inconsistency — more than one node claiming it as successor — sends
+// update messages that impose a partial order among the claimants: if B and
+// C both notified A and B < C < A (in ring order), A points B at C by
+// sending B the source route A→C, which B appends to its route B→A to
+// obtain B→C. This repeats until every node has exactly one successor and
+// one predecessor: local consistency.
+//
+// Local consistency does not imply global consistency: the loopy state
+// (Fig. 1) and separate rings (Fig. 2) are locally consistent. ISPRP
+// therefore requires the node with the numerically largest address (the
+// representative) to flood the network; the flood hands every node a route
+// to the representative, and the normal rewiring process then dissolves the
+// global inconsistency. This flooding cost is what the linearization
+// approach eliminates, and the E6 experiment measures it.
+//
+// Generalized rewiring rule (the TR's iterative mechanism): whenever a node
+// learns of any node x with x strictly between itself and its current
+// successor on the ring, it adopts x as its new successor; and a notified
+// successor A answers a claimant B with the best successor for B that A
+// knows about (which subsumes the two-claimant example above).
+package isprp
+
+import (
+	"repro/internal/cache"
+	"repro/internal/ids"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/sroute"
+	"repro/internal/vring"
+)
+
+// Message kinds, for counter accounting.
+const (
+	KindNotify = "isprp:notify"
+	KindUpdate = "isprp:update"
+	KindFlood  = "isprp:flood"
+)
+
+// Config tunes the protocol.
+type Config struct {
+	// TickInterval is the successor-notification period (default 16).
+	TickInterval sim.Time
+	// FloodDelay is when local maxima initiate the representative flood
+	// (default 64). Only nodes that still believe themselves the largest
+	// initiate; floods for smaller origins are suppressed by larger ones.
+	FloodDelay sim.Time
+	// EnableFlood switches the representative flood on (the ISPRP
+	// baseline). Disabling it is the ablation that demonstrates why ISPRP
+	// needs flooding: loopy and partitioned states then persist forever.
+	EnableFlood bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickInterval <= 0 {
+		c.TickInterval = 16
+	}
+	if c.FloodDelay <= 0 {
+		c.FloodDelay = 64
+	}
+	return c
+}
+
+// updatePayload is the body of an update message: the receiver appends
+// BetterRoute (sender→better) to its reversed packet route to obtain its
+// own route to the better successor.
+type updatePayload struct {
+	BetterRoute sroute.Route
+}
+
+// floodPayload is the body of a representative flood frame.
+type floodPayload struct {
+	Origin ids.ID
+	Path   []ids.ID // origin → … → sender
+}
+
+// Node is one ISPRP participant.
+type Node struct {
+	id      ids.ID
+	net     *phys.Network
+	courier *phys.Courier
+	cfg     Config
+
+	rc        *cache.Cache
+	succ      ids.ID
+	hasSucc   bool
+	claimants ids.Set
+	// floodedMax is the largest flood origin this node has relayed;
+	// floods for origins ≤ floodedMax are suppressed.
+	floodedMax ids.ID
+	hasFlooded bool
+	stopped    bool
+}
+
+// NewNode creates and registers an ISPRP node on the network. Call Start
+// to begin protocol activity.
+func NewNode(net *phys.Network, id ids.ID, cfg Config) *Node {
+	n := &Node{
+		id:        id,
+		net:       net,
+		cfg:       cfg.withDefaults(),
+		rc:        cache.New(id, cache.Unbounded),
+		claimants: ids.NewSet(),
+	}
+	n.courier = phys.NewCourier(net, id)
+	n.courier.OnDeliver = n.deliver
+	n.courier.OnForward = n.overhear
+	net.Register(id, phys.HandlerFunc(n.handle))
+	return n
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Successor returns the current successor pointer.
+func (n *Node) Successor() (ids.ID, bool) { return n.succ, n.hasSucc }
+
+// Cache exposes the node's route cache (for inspection in experiments).
+func (n *Node) Cache() *cache.Cache { return n.rc }
+
+// SetSuccessor injects a successor pointer and its route — used to place
+// nodes into adversarial initial states such as the Fig. 1 loopy state.
+func (n *Node) SetSuccessor(route sroute.Route) {
+	n.rc.Insert(route)
+	n.succ = route.Dst()
+	n.hasSucc = true
+}
+
+// Start learns the physical neighborhood, picks the initial successor, and
+// begins periodic notifications. jitter staggers the first tick.
+func (n *Node) Start(jitter sim.Time) {
+	for _, u := range n.net.NeighborsOf(n.id) {
+		if r, err := sroute.New(n.id, u); err == nil {
+			n.learnRoute(r)
+		}
+	}
+	n.net.Engine().After(n.cfg.TickInterval+jitter, n.tick)
+	if n.cfg.EnableFlood {
+		n.net.Engine().After(n.cfg.FloodDelay+jitter, n.maybeFlood)
+	}
+}
+
+// Stop halts periodic activity after the current event.
+func (n *Node) Stop() { n.stopped = true }
+
+func (n *Node) tick() {
+	if n.stopped || !n.net.Up(n.id) {
+		return
+	}
+	if n.hasSucc {
+		if r := n.rc.Route(n.succ); r != nil {
+			n.courier.Send(r, KindNotify, nil)
+		}
+	}
+	n.net.Engine().After(n.cfg.TickInterval, n.tick)
+}
+
+// maybeFlood initiates the representative flood if this node still believes
+// itself the numerically largest (§3: "SSR and VRR propose to choose the
+// node with the numerically largest address as (one) representative").
+func (n *Node) maybeFlood() {
+	if n.stopped || !n.net.Up(n.id) {
+		return
+	}
+	if n.believesLargest() && (!n.hasFlooded || n.floodedMax < n.id) {
+		n.hasFlooded = true
+		n.floodedMax = n.id
+		n.net.Broadcast(n.id, KindFlood, floodPayload{Origin: n.id, Path: []ids.ID{n.id}})
+	}
+}
+
+func (n *Node) believesLargest() bool {
+	for _, x := range n.rc.Destinations() {
+		if x > n.id {
+			return false
+		}
+	}
+	return true
+}
+
+// handle is the raw frame handler: courier traffic first, then floods.
+func (n *Node) handle(m phys.Message) {
+	if n.courier.Handle(m) {
+		return
+	}
+	if m.Kind == KindFlood {
+		n.handleFlood(m)
+	}
+}
+
+func (n *Node) handleFlood(m phys.Message) {
+	fp, ok := m.Payload.(floodPayload)
+	if !ok {
+		return
+	}
+	// Learn a route back to the origin: reverse the accumulated path.
+	full := append(append([]ids.ID(nil), fp.Path...), n.id)
+	back := sroute.Route(full).Reverse().ElideLoops()
+	if len(back) >= 2 {
+		n.learnRoute(back)
+	}
+	// Relay if this origin beats everything we have relayed so far and we
+	// are not ourselves larger (a larger node will start its own flood).
+	if fp.Origin > n.floodedMax && fp.Origin != n.id {
+		n.floodedMax = fp.Origin
+		n.hasFlooded = true
+		n.net.Broadcast(n.id, KindFlood, floodPayload{Origin: fp.Origin, Path: full})
+	}
+}
+
+// deliver handles courier packets addressed to this node.
+func (n *Node) deliver(pkt phys.SRPacket) {
+	from := pkt.Route.Src()
+	// Any packet teaches us the reverse route to its sender.
+	n.learnRoute(pkt.Route.Reverse())
+	switch pkt.Kind {
+	case KindNotify:
+		n.handleNotify(from)
+	case KindUpdate:
+		up, ok := pkt.Payload.(updatePayload)
+		if !ok {
+			return
+		}
+		n.handleUpdate(pkt.Route, up)
+	}
+}
+
+// overhear lets forwarding nodes cache route segments of relayed packets —
+// SSR route learning (§1: nodes "store (some of) these source routes").
+func (n *Node) overhear(pkt phys.SRPacket) {
+	if back := pkt.Route[:pkt.Hop+1].Reverse(); len(back) >= 2 {
+		n.learnRoute(back)
+	}
+	if fwd := pkt.Route[pkt.Hop:]; len(fwd) >= 2 {
+		n.learnRoute(fwd.Clone())
+	}
+}
+
+// handleNotify processes a successor claim from node from.
+func (n *Node) handleNotify(from ids.ID) {
+	n.claimants.Add(from)
+	// Answer with the best successor for the claimant that we know of. If
+	// we know a node D strictly between from and us, from should use D.
+	if best, ok := n.bestSuccessorFor(from); ok && best != n.id {
+		n.sendUpdate(from, best)
+	}
+	if n.claimants.Len() <= 1 {
+		return
+	}
+	// Multiple claimants: impose the partial order of §3. Sort claimants by
+	// ring position approaching us; point each at the next one and keep the
+	// closest as our predecessor.
+	order := n.claimants.Sorted()
+	// Sort by descending ring distance to us: farthest first.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if ids.RingDist(order[j], n.id) > ids.RingDist(order[i], n.id) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for i := 0; i+1 < len(order); i++ {
+		n.sendUpdate(order[i], order[i+1])
+	}
+	n.claimants = ids.NewSet(order[len(order)-1])
+}
+
+// bestSuccessorFor returns the cached node (or us) ring-closest after from.
+func (n *Node) bestSuccessorFor(from ids.ID) (ids.ID, bool) {
+	best := n.id
+	found := true
+	for _, x := range n.rc.Destinations() {
+		if x == from {
+			continue
+		}
+		if ids.RingDist(from, x) < ids.RingDist(from, best) {
+			best = x
+		}
+	}
+	return best, found
+}
+
+// sendUpdate points node to at node better, carrying our route to better so
+// the receiver can compose its own.
+func (n *Node) sendUpdate(to, better ids.ID) {
+	if to == better {
+		return
+	}
+	rTo := n.rc.Route(to)
+	rBetter := n.rc.Route(better)
+	if rTo == nil || rBetter == nil {
+		return
+	}
+	n.courier.Send(rTo, KindUpdate, updatePayload{BetterRoute: rBetter.Clone()})
+}
+
+// handleUpdate composes the route to the suggested better successor and
+// rewires if it improves.
+func (n *Node) handleUpdate(pktRoute sroute.Route, up updatePayload) {
+	back := pktRoute.Reverse() // us → sender
+	if up.BetterRoute == nil || back.Dst() != up.BetterRoute.Src() {
+		return
+	}
+	composed, err := back.Append(up.BetterRoute)
+	if err != nil || len(composed) < 2 {
+		return
+	}
+	n.learnRoute(composed)
+}
+
+// learnRoute caches a route and applies the successor rewiring rule: adopt
+// the destination if it falls strictly between us and our current
+// successor.
+func (n *Node) learnRoute(r sroute.Route) {
+	if len(r) < 2 || r.Src() != n.id {
+		return
+	}
+	n.rc.Insert(r)
+	dst := r.Dst()
+	switch {
+	case !n.hasSucc:
+		n.succ = dst
+		n.hasSucc = true
+	case ids.Between(dst, n.id, n.succ):
+		n.succ = dst
+	}
+}
+
+// --- Cluster driver --------------------------------------------------------
+
+// Cluster runs ISPRP over an entire network and provides the convergence
+// oracle used by experiments.
+type Cluster struct {
+	Net   *phys.Network
+	Nodes map[ids.ID]*Node
+}
+
+// NewCluster creates one ISPRP node per registered topology node and starts
+// them with per-node jitter.
+func NewCluster(net *phys.Network, cfg Config) *Cluster {
+	c := &Cluster{Net: net, Nodes: make(map[ids.ID]*Node)}
+	for _, v := range net.Topology().Nodes() {
+		c.Nodes[v] = NewNode(net, v, cfg)
+	}
+	for _, v := range net.Topology().Nodes() {
+		c.Nodes[v].Start(sim.Time(net.Engine().Rand().Int63n(int64(cfg.withDefaults().TickInterval))))
+	}
+	return c
+}
+
+// SuccMap snapshots all successor pointers.
+func (c *Cluster) SuccMap() vring.SuccMap {
+	s := make(vring.SuccMap, len(c.Nodes))
+	for v, n := range c.Nodes {
+		if succ, ok := n.Successor(); ok {
+			s[v] = succ
+		}
+	}
+	return s
+}
+
+// Consistent reports whether the ring is globally consistent right now.
+func (c *Cluster) Consistent() bool {
+	if len(c.Nodes) < 2 {
+		return true
+	}
+	all := make([]ids.ID, 0, len(c.Nodes))
+	for v := range c.Nodes {
+		all = append(all, v)
+	}
+	return c.SuccMap().GloballyConsistent(all)
+}
+
+// RunUntilConsistent drives the simulation until global consistency or the
+// deadline. It returns the convergence time and whether it converged.
+func (c *Cluster) RunUntilConsistent(deadline sim.Time) (sim.Time, bool) {
+	eng := c.Net.Engine()
+	const checkEvery = sim.Time(8)
+	for next := eng.Now() + checkEvery; ; next += checkEvery {
+		if next > deadline {
+			next = deadline
+		}
+		eng.RunUntil(next, nil)
+		if c.Consistent() {
+			return eng.Now(), true
+		}
+		if next >= deadline || eng.Pending() == 0 {
+			return eng.Now(), false
+		}
+	}
+}
+
+// Stop halts all nodes' periodic activity.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}

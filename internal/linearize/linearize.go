@@ -1,0 +1,471 @@
+// Package linearize implements the paper's primary contribution: graph
+// linearization as a self-stabilizing bootstrap for the virtual ring of SSR
+// and VRR.
+//
+// Three algorithm variants from §2 (after Onus, Richa, Scheideler) are
+// provided:
+//
+//   - Pure linearization (Algorithm 1): every node v sorts its neighbors
+//     u_1 < … < u_k < v < u_{k+1} < … < u_n and *replaces* its edges with the
+//     consecutive chain {u_1,u_2}, …, {u_k,v}, {v,u_{k+1}}, …, {u_{n-1},u_n}.
+//     Converges, but may need many rounds.
+//   - Linearization with memory: the chain edges are *added* and nothing is
+//     removed. Average convergence drops to polylogarithmic, at the price of
+//     unbounded per-node state.
+//   - Linearization with shortcut neighbors (LSN): like memory, but every
+//     node keeps at most one neighbor per exponentially growing identifier
+//     interval per direction (always including the closest neighbor on each
+//     side). Polylogarithmic convergence with O(log |space|) state.
+//
+// Two execution disciplines are supported (package sim): the synchronous
+// round model that the literature's bounds are stated in, and a random
+// sequential daemon in which one node at a time atomically applies its
+// operation (the classic central-daemon model). A self-stabilizing
+// algorithm must converge under both; the ablation benches compare them.
+//
+// Two semantics subtleties, reproduced deliberately:
+//
+// First, execution atomicity. For Memory — which only ever adds edges — a
+// synchronous round is Jacobi-style: every node reads the same snapshot and
+// all additions apply together (additions commute). For the edge-removing
+// variants (Pure, LSN), fully simultaneous replacement is known not to
+// converge (crossing chords regenerate each other forever; cf. Gall, Jacob,
+// Richa, Scheideler, "A Note on the Parallel Runtime of Self-Stabilizing
+// Graph Linearization"). Onus et al.'s model assumes atomic operations, so
+// Pure and LSN apply node operations atomically — in identifier order
+// within a synchronous round (Gauss-Seidel), in random order under the
+// sequential daemon. A round still activates every node exactly once, so
+// round counts remain comparable across variants.
+//
+// Second, forgetting must be *delegation*, not deletion. All three variants
+// share one step shape: add Algorithm 1's chain edges, then drop the edges
+// to neighbors outside the variant's keep set (Pure keeps only the closest
+// neighbor per side; LSN the closest per exponential interval per side;
+// Memory everything). Because the chain has already connected every dropped
+// neighbor w to its consecutive predecessor — a strictly closer node — each
+// removal is a delegation: the edge migrates toward w's true position
+// rather than vanishing. Deleting edges outright (e.g. "drop unless some
+// endpoint retains it") admits wrong stable fixed points in which a node is
+// pruned out of everyone's view and can never be re-introduced; this
+// implementation hit exactly that on power-law graphs before adopting the
+// delegation semantics.
+//
+// Every variant preserves connectedness of the virtual graph — the property
+// that makes local consistency equal global consistency on the line (§3) —
+// and the tests verify this invariant on every round.
+//
+// Ring closure (§4's clockwise/counter-clockwise discovery messages between
+// the nodes with empty left/right neighbor sets) is modeled by the
+// CloseRing option. The wrap edge it establishes connects the extremal
+// nodes of the identifier space and is deliberately *exempt* from
+// linearization and pruning: linearization works on the line view, where
+// the leftmost node simply has an empty left set — the wrap edge is ring
+// state, not a line neighbor.
+//
+// The message-level version of the protocol (§4's neighbor notification /
+// acknowledgment / teardown exchange over source routes) lives in package
+// ssr; this package is the transport-independent algorithmic core.
+package linearize
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/sim"
+)
+
+// Variant selects the linearization algorithm.
+type Variant int
+
+const (
+	// Pure is Algorithm 1: edges are replaced.
+	Pure Variant = iota
+	// Memory adds chain edges and never removes any.
+	Memory
+	// LSN adds chain edges and prunes to one neighbor per exponential
+	// interval per direction (keeping the closest neighbor on each side).
+	LSN
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Pure:
+		return "pure"
+	case Memory:
+		return "memory"
+	case LSN:
+		return "lsn"
+	default:
+		return "unknown"
+	}
+}
+
+// Variants lists all algorithm variants, for sweeps.
+func Variants() []Variant { return []Variant{Pure, Memory, LSN} }
+
+// Config parameterizes a run.
+type Config struct {
+	Variant   Variant
+	Scheduler sim.Scheduler
+	// MaxRounds bounds the run (<=0: generous default scaled to n²).
+	MaxRounds int
+	// Seed drives the random-sequential daemon's activation order.
+	Seed int64
+	// CloseRing also establishes the wrap edge between the smallest and
+	// largest node once the line is in place (§4's discovery step,
+	// abstracted). The wrap edge is exempt from linearization.
+	CloseRing bool
+	// OnRound, if set, is called after every round with the round number
+	// and the current virtual graph (read-only). Used for Figure 3 traces.
+	OnRound func(round int, g *graph.Graph)
+}
+
+// Stats aggregates what a run did — the raw material for experiments E5,
+// E6 and E8.
+type Stats struct {
+	Variant      Variant
+	Scheduler    sim.Scheduler
+	Rounds       int
+	Converged    bool
+	EdgesAdded   int64 // edge insertions ≈ neighbor notifications needed
+	EdgesDropped int64 // edge removals ≈ teardowns needed
+	PeakDegree   int   // maximum node degree ever observed (state bound)
+	FinalEdges   int   // edges at the fixed point
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s/%s: rounds=%d converged=%v +%d -%d peakdeg=%d final=%d",
+		s.Variant, s.Scheduler, s.Rounds, s.Converged,
+		s.EdgesAdded, s.EdgesDropped, s.PeakDegree, s.FinalEdges)
+}
+
+// Engine runs a linearization variant over a virtual graph until the goal
+// state. Create with NewEngine, drive with Run.
+type Engine struct {
+	cfg   Config
+	g     *graph.Graph
+	nodes []ids.ID // ascending
+	stats Stats
+}
+
+// NewEngine initializes a run on the given virtual graph. Per §4 the
+// virtual edge set is initialized from the physical one (E_v := E_p): pass
+// the physical graph (it is cloned, not mutated).
+func NewEngine(virtual *graph.Graph, cfg Config) *Engine {
+	e := &Engine{
+		cfg:   cfg,
+		g:     virtual.Clone(),
+		nodes: virtual.Nodes(),
+	}
+	e.stats.Variant = cfg.Variant
+	e.stats.Scheduler = cfg.Scheduler
+	e.observeDegrees(e.g)
+	return e
+}
+
+// Graph exposes the current virtual graph (read-only by convention).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Stats returns the accumulated run statistics.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.FinalEdges = e.g.NumEdges()
+	return s
+}
+
+func (e *Engine) extremes() (min, max ids.ID, ok bool) {
+	if len(e.nodes) < 3 {
+		return 0, 0, false
+	}
+	return e.nodes[0], e.nodes[len(e.nodes)-1], true
+}
+
+// isWrapEdge reports whether {v,u} is the ring-closure edge, which is
+// exempt from linearization and pruning.
+func (e *Engine) isWrapEdge(v, u ids.ID) bool {
+	if !e.cfg.CloseRing {
+		return false
+	}
+	min, max, ok := e.extremes()
+	if !ok {
+		return false
+	}
+	return (v == min && u == max) || (v == max && u == min)
+}
+
+// Done reports whether the goal state is reached: the sorted line (Pure) or
+// a superset of it (Memory, LSN — their fixed points retain extra shortcut
+// edges by design), plus the wrap edge when CloseRing is set.
+func (e *Engine) Done() bool {
+	if e.cfg.CloseRing {
+		if min, max, ok := e.extremes(); ok {
+			if !e.g.HasEdge(min, max) {
+				return false
+			}
+			if e.cfg.Variant == Pure {
+				return e.g.IsSortedRing()
+			}
+			return e.g.SupersetOfLine()
+		}
+	}
+	if e.cfg.Variant == Pure {
+		return e.g.IsLinearized()
+	}
+	return e.g.SupersetOfLine()
+}
+
+// Run drives the engine to the goal or the round bound and returns stats.
+func (e *Engine) Run() Stats {
+	max := e.cfg.MaxRounds
+	if max <= 0 {
+		max = 16 * len(e.nodes)
+		if max < 1024 {
+			max = 1024
+		}
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	rr := &sim.RoundRunner{
+		Scheduler: e.cfg.Scheduler,
+		MaxRounds: max,
+		NodeCount: func() int { return len(e.nodes) },
+		Done:      e.Done,
+	}
+	if e.cfg.Scheduler == sim.Synchronous && e.cfg.Variant == Memory {
+		var staged *graph.Graph
+		rr.BeginRound = func(int) {
+			staged = e.g.Clone()
+		}
+		rr.Activate = func(i int) bool {
+			return e.proposeInto(staged, e.nodes[i])
+		}
+		rr.EndRound = func(round int) {
+			e.g = staged
+			e.observeDegrees(staged)
+			if e.cfg.OnRound != nil {
+				e.cfg.OnRound(round, e.g)
+			}
+		}
+	} else {
+		rr.Activate = func(i int) bool {
+			return e.stepInPlace(e.nodes[i])
+		}
+		if e.cfg.OnRound != nil {
+			rr.EndRound = func(round int) { e.cfg.OnRound(round, e.g) }
+		}
+	}
+	res := rr.Run(rng)
+	e.stats.Rounds = res.Rounds
+	e.stats.Converged = res.Converged
+	return e.Stats()
+}
+
+// lineNeighbors returns v's current neighbors in the line view — all
+// neighbors except a wrap-edge partner — in ascending order.
+func (e *Engine) lineNeighbors(g *graph.Graph, v ids.ID) []ids.ID {
+	nbrs := g.NeighborsSorted(v)
+	out := nbrs[:0:len(nbrs)]
+	for _, u := range nbrs {
+		if !e.isWrapEdge(v, u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// proposeInto applies v's linearization proposal (reading the snapshot e.g,
+// writing adds into staged) for the synchronous model of the monotone
+// variants (Memory, LSN). It reports whether v's proposal differs from the
+// snapshot state.
+func (e *Engine) proposeInto(staged *graph.Graph, v ids.ID) bool {
+	nbrs := e.lineNeighbors(e.g, v)
+	changed := false
+	for _, c := range chainEdges(v, nbrs) {
+		if staged.AddEdge(c.U, c.V) {
+			e.stats.EdgesAdded++
+		}
+		if !e.g.HasEdge(c.U, c.V) {
+			changed = true
+		}
+	}
+	if e.closeRingStep(e.g, staged, v) {
+		e.stats.EdgesAdded++
+		changed = true
+	}
+	return changed
+}
+
+// stepInPlace atomically applies v's operation on the live graph: add the
+// chain edges, then delegate away the neighbors outside v's keep set (the
+// chain has just connected each of them to a strictly closer node, so no
+// removal loses information). It reports whether any edge changed.
+func (e *Engine) stepInPlace(v ids.ID) bool {
+	nbrs := append([]ids.ID(nil), e.lineNeighbors(e.g, v)...)
+	chain := chainEdges(v, nbrs)
+	changed := false
+	for _, c := range chain {
+		if e.g.AddEdge(c.U, c.V) {
+			e.stats.EdgesAdded++
+			changed = true
+			e.observeNode(c.U)
+			e.observeNode(c.V)
+		}
+	}
+	if e.cfg.Variant != Memory {
+		keep := ids.NewSet(e.keepFor(v, nbrs)...)
+		for _, w := range nbrs {
+			if keep.Has(w) {
+				continue
+			}
+			if e.g.RemoveEdge(v, w) {
+				e.stats.EdgesDropped++
+				changed = true
+			}
+		}
+	}
+	if e.closeRingStep(e.g, e.g, v) {
+		e.stats.EdgesAdded++
+		changed = true
+	}
+	return changed
+}
+
+// keepFor returns the neighbors v retains under the configured variant:
+// Pure keeps only the closest neighbor per side (Algorithm 1); LSN keeps
+// the closest neighbor within each occupied exponential interval per side.
+// nbrs is v's current sorted line neighborhood.
+func (e *Engine) keepFor(v ids.ID, nbrs []ids.ID) []ids.ID {
+	if e.cfg.Variant == Pure {
+		var out []ids.ID
+		// nbrs ascending: closest left is the last one below v, closest
+		// right the first one above.
+		for i := len(nbrs) - 1; i >= 0; i-- {
+			if nbrs[i] < v {
+				out = append(out, nbrs[i])
+				break
+			}
+		}
+		for _, u := range nbrs {
+			if u > v {
+				out = append(out, u)
+				break
+			}
+		}
+		return out
+	}
+	return e.keepSet(e.g, v)
+}
+
+// closeRingStep abstracts §4's discovery messages: an extremal node whose
+// line is in place establishes the wrap edge. snapshot is consulted for the
+// precondition; the edge is written into dst.
+func (e *Engine) closeRingStep(snapshot, dst *graph.Graph, v ids.ID) bool {
+	if !e.cfg.CloseRing {
+		return false
+	}
+	min, max, ok := e.extremes()
+	if !ok || (v != min && v != max) {
+		return false
+	}
+	if snapshot.HasEdge(min, max) || !snapshot.SupersetOfLine() {
+		return false
+	}
+	return dst.AddEdge(min, max)
+}
+
+func (e *Engine) observeDegrees(g *graph.Graph) {
+	if d := g.MaxDegree(); d > e.stats.PeakDegree {
+		e.stats.PeakDegree = d
+	}
+}
+
+// observeNode updates the peak-degree statistic for one touched node —
+// O(1) instead of rescanning the whole graph on every activation.
+func (e *Engine) observeNode(v ids.ID) {
+	if d := e.g.Degree(v); d > e.stats.PeakDegree {
+		e.stats.PeakDegree = d
+	}
+}
+
+// keepSet returns the neighbors of v that v's LSN policy retains: per
+// direction, the closest neighbor within each occupied exponential
+// interval (which automatically includes the overall closest neighbor on
+// each side). Wrap-edge partners are always retained. The result is
+// O(log |space|) in size.
+func (e *Engine) keepSet(g *graph.Graph, v ids.ID) []ids.ID {
+	var best [2][ids.NumIntervals]ids.ID
+	var has [2][ids.NumIntervals]bool
+	var out []ids.ID
+	for u := range g.Neighbors(v) {
+		if e.isWrapEdge(v, u) {
+			out = append(out, u)
+			continue
+		}
+		d := 0
+		if ids.DirOf(v, u) == ids.Right {
+			d = 1
+		}
+		k := ids.IntervalIndex(ids.LineDist(v, u))
+		if k < 0 {
+			continue
+		}
+		if !has[d][k] {
+			best[d][k] = u
+			has[d][k] = true
+			continue
+		}
+		inc := best[d][k]
+		dU, dInc := ids.LineDist(v, u), ids.LineDist(v, inc)
+		if dU < dInc || (dU == dInc && u < inc) {
+			best[d][k] = u
+		}
+	}
+	for d := 0; d < 2; d++ {
+		for k := 0; k < ids.NumIntervals; k++ {
+			if has[d][k] {
+				out = append(out, best[d][k])
+			}
+		}
+	}
+	return out
+}
+
+// chainEdges returns the chain through v's sorted neighborhood: with
+// u_1 < … < u_k < v < u_{k+1} < … < u_n the edges {u_1,u_2}, …, {u_k,v},
+// {v,u_{k+1}}, …, {u_{n-1},u_n} (Algorithm 1). For an empty neighborhood it
+// returns nil; a neighborhood entirely on one side still chains v to its
+// closest member.
+func chainEdges(v ids.ID, sortedNbrs []ids.ID) []graph.Edge {
+	if len(sortedNbrs) == 0 {
+		return nil
+	}
+	seq := make([]ids.ID, 0, len(sortedNbrs)+1)
+	placed := false
+	for _, u := range sortedNbrs {
+		if !placed && v < u {
+			seq = append(seq, v)
+			placed = true
+		}
+		seq = append(seq, u)
+	}
+	if !placed {
+		seq = append(seq, v)
+	}
+	edges := make([]graph.Edge, 0, len(seq)-1)
+	for i := 0; i+1 < len(seq); i++ {
+		edges = append(edges, graph.NewEdge(seq[i], seq[i+1]))
+	}
+	return edges
+}
+
+// Run is the one-shot convenience entry point: linearize the virtual graph
+// (initialized from the given physical graph per §4) and return the stats
+// and the final virtual graph.
+func Run(physical *graph.Graph, cfg Config) (Stats, *graph.Graph) {
+	e := NewEngine(physical, cfg)
+	stats := e.Run()
+	return stats, e.Graph()
+}

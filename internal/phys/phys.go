@@ -1,0 +1,265 @@
+// Package phys simulates the physical network underneath SSR/VRR: nodes
+// joined by communication links (radio links in the wireless case), per-link
+// latency and loss, neighbor discovery, and churn.
+//
+// The physical graph E_p is the input topology; protocols send messages only
+// across physical links (source routes are sequences of such single-hop
+// sends). Delivery is mediated by a deterministic discrete-event engine
+// (package sim), so runs are reproducible from their seed. Per-message
+// accounting feeds the E6 experiment (message cost of ISPRP+flooding vs.
+// linearization).
+package phys
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/sim"
+)
+
+// Message is a single-hop physical-layer frame. Protocol payloads ride in
+// Payload; Kind tags the protocol message type for accounting.
+type Message struct {
+	From, To ids.ID
+	Kind     string
+	Payload  any
+	// Hops counts how many physical transmissions the enclosing protocol
+	// operation has used so far; protocols thread it through multi-hop
+	// forwards so stretch can be measured.
+	Hops int
+}
+
+// Handler receives messages addressed to a node. Handlers run inside the
+// simulation event loop and may send further messages.
+type Handler interface {
+	HandleMessage(m Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(m Message)
+
+// HandleMessage calls f(m).
+func (f HandlerFunc) HandleMessage(m Message) { f(m) }
+
+// LatencyModel computes the delivery delay for a frame crossing one link.
+type LatencyModel func(from, to ids.ID) sim.Time
+
+// ConstantLatency returns a model with a fixed per-link delay.
+func ConstantLatency(d sim.Time) LatencyModel {
+	return func(ids.ID, ids.ID) sim.Time { return d }
+}
+
+// Network is the simulated physical network. It is not safe for concurrent
+// use; everything runs on the embedded event engine's single thread.
+type Network struct {
+	engine   *sim.Engine
+	topo     *graph.Graph
+	handlers map[ids.ID]Handler
+	down     ids.Set
+
+	latency  LatencyModel
+	lossProb float64
+	jitter   sim.Time // uniform extra delay in [0, jitter]
+
+	counters *Counters
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the per-link latency model (default: constant 1 tick).
+func WithLatency(m LatencyModel) Option { return func(n *Network) { n.latency = m } }
+
+// WithJitter adds a uniform random delay in [0, j] per frame.
+func WithJitter(j sim.Time) Option { return func(n *Network) { n.jitter = j } }
+
+// WithLoss drops each frame independently with probability p.
+func WithLoss(p float64) Option { return func(n *Network) { n.lossProb = p } }
+
+// NewNetwork builds a network over the given topology. The topology is
+// cloned; later churn does not affect the caller's graph.
+func NewNetwork(engine *sim.Engine, topo *graph.Graph, opts ...Option) *Network {
+	n := &Network{
+		engine:   engine,
+		topo:     topo.Clone(),
+		handlers: make(map[ids.ID]Handler),
+		down:     ids.NewSet(),
+		latency:  ConstantLatency(1),
+		counters: NewCounters(),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Engine returns the underlying event engine.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Topology returns the live physical graph. Mutate it only through the
+// churn methods below.
+func (n *Network) Topology() *graph.Graph { return n.topo }
+
+// Counters returns the per-kind message accounting.
+func (n *Network) Counters() *Counters { return n.counters }
+
+// Register installs the protocol handler for a node.
+func (n *Network) Register(v ids.ID, h Handler) {
+	n.topo.AddNode(v)
+	n.handlers[v] = h
+}
+
+// Nodes returns all registered node identifiers in ascending order.
+func (n *Network) Nodes() []ids.ID {
+	out := make([]ids.ID, 0, len(n.handlers))
+	for v := range n.handlers {
+		out = append(out, v)
+	}
+	ids.SortAsc(out)
+	return out
+}
+
+// NeighborsOf returns the live physical neighbors of v (up nodes only), in
+// ascending order. This models idealized link-layer neighbor discovery; the
+// beacon-based discovery in beacons.go models the lossy variant.
+func (n *Network) NeighborsOf(v ids.ID) []ids.ID {
+	if n.down.Has(v) {
+		return nil
+	}
+	var out []ids.ID
+	for u := range n.topo.Neighbors(v) {
+		if !n.down.Has(u) {
+			out = append(out, u)
+		}
+	}
+	ids.SortAsc(out)
+	return out
+}
+
+// Up reports whether v is registered and not failed.
+func (n *Network) Up(v ids.ID) bool {
+	_, ok := n.handlers[v]
+	return ok && !n.down.Has(v)
+}
+
+// Send transmits a single-hop frame from m.From to m.To. Both must be up
+// and physically adjacent; otherwise the frame is dropped (counted as
+// "drop"). Delivery is asynchronous at now+latency(+jitter), unless the
+// loss model discards it. Send reports whether the frame was put on the
+// air (not whether it will arrive).
+func (n *Network) Send(m Message) bool {
+	if !n.Up(m.From) || !n.topo.HasEdge(m.From, m.To) {
+		n.counters.Inc("drop:no-link", 0)
+		return false
+	}
+	n.counters.Inc(m.Kind, 1)
+	if n.lossProb > 0 && n.engine.Rand().Float64() < n.lossProb {
+		n.counters.Inc("drop:loss", 0)
+		return true // transmitted, never arrives
+	}
+	d := n.latency(m.From, m.To)
+	if n.jitter > 0 {
+		d += sim.Time(n.engine.Rand().Int63n(int64(n.jitter) + 1))
+	}
+	m.Hops++
+	n.engine.After(d, func() {
+		if !n.Up(m.To) || !n.topo.HasEdge(m.From, m.To) {
+			n.counters.Inc("drop:dest-down", 0)
+			return
+		}
+		if h, ok := n.handlers[m.To]; ok {
+			h.HandleMessage(m)
+		}
+	})
+	return true
+}
+
+// Broadcast sends a frame of the given kind to every live physical neighbor
+// of from and returns the number of frames transmitted. It models a
+// wireless local broadcast as individual unicasts (simulator-level
+// simplification that preserves message counts per receiver).
+func (n *Network) Broadcast(from ids.ID, kind string, payload any) int {
+	sent := 0
+	for _, u := range n.NeighborsOf(from) {
+		if n.Send(Message{From: from, To: u, Kind: kind, Payload: payload}) {
+			sent++
+		}
+	}
+	return sent
+}
+
+// FailNode marks v down. Frames to or from v are dropped until RecoverNode.
+func (n *Network) FailNode(v ids.ID) { n.down.Add(v) }
+
+// RecoverNode brings a failed node back up.
+func (n *Network) RecoverNode(v ids.ID) { n.down.Remove(v) }
+
+// AddLink inserts a physical link (e.g. two radios moving into range).
+func (n *Network) AddLink(u, v ids.ID) { n.topo.AddEdge(u, v) }
+
+// RemoveLink removes a physical link.
+func (n *Network) RemoveLink(u, v ids.ID) { n.topo.RemoveEdge(u, v) }
+
+// Counters tallies messages by kind. Kinds use a "proto:type" convention,
+// e.g. "ssr:notify" or "isprp:flood".
+type Counters struct {
+	byKind map[string]int64
+}
+
+// NewCounters returns empty accounting.
+func NewCounters() *Counters { return &Counters{byKind: make(map[string]int64)} }
+
+// Inc adds delta transmissions of the given kind (0 registers the kind).
+func (c *Counters) Inc(kind string, delta int64) { c.byKind[kind] += delta }
+
+// Get returns the count for a kind.
+func (c *Counters) Get(kind string) int64 { return c.byKind[kind] }
+
+// Total returns the number of frames transmitted across all kinds,
+// excluding the drop:* diagnostics.
+func (c *Counters) Total() int64 {
+	var t int64
+	for kind, v := range c.byKind {
+		if len(kind) >= 5 && kind[:5] == "drop:" {
+			continue
+		}
+		t += v
+	}
+	return t
+}
+
+// TotalMatching returns the summed count over kinds for which match returns
+// true.
+func (c *Counters) TotalMatching(match func(kind string) bool) int64 {
+	var t int64
+	for kind, v := range c.byKind {
+		if match(kind) {
+			t += v
+		}
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { c.byKind = make(map[string]int64) }
+
+// Snapshot returns a sorted, stable rendering of all counters for reports.
+func (c *Counters) Snapshot() []KindCount {
+	out := make([]KindCount, 0, len(c.byKind))
+	for k, v := range c.byKind {
+		out = append(out, KindCount{Kind: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// KindCount is one row of a counter snapshot.
+type KindCount struct {
+	Kind  string
+	Count int64
+}
+
+// String renders "kind=count".
+func (kc KindCount) String() string { return fmt.Sprintf("%s=%d", kc.Kind, kc.Count) }

@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %d, want 30", e.Now())
+	}
+	if e.EventsExecuted() != 3 {
+		t.Errorf("EventsExecuted = %d, want 3", e.EventsExecuted())
+	}
+}
+
+func TestEngineFIFOAmongSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	ev.Cancel() // idempotent
+	e.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineAfterAndPastClamp(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(100, func() {
+		e.At(50, func() { at = e.Now() }) // in the past: clamps to now
+	})
+	e.Run(0)
+	if at != 100 {
+		t.Errorf("past event should run at now=100, ran at %d", at)
+	}
+
+	e2 := NewEngine(1)
+	var order []int
+	e2.After(5, func() {
+		order = append(order, 1)
+		e2.After(-3, func() { order = append(order, 2) }) // negative delay clamps
+	})
+	e2.Run(0)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEngineBudget(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	if fired := e.Run(25); fired != 25 {
+		t.Errorf("Run fired %d, want 25", fired)
+	}
+	if count != 25 {
+		t.Errorf("count = %d, want 25", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(10, tick)
+	}
+	e.After(10, tick)
+	e.RunUntil(55, nil)
+	if count != 5 {
+		t.Errorf("count = %d, want 5 (events at 10..50)", count)
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now = %d, want 50", e.Now())
+	}
+	// stop() halts immediately.
+	e.RunUntil(1000, func() bool { return true })
+	if count != 5 {
+		t.Error("stop() should prevent further events")
+	}
+	// Cancelled head-of-queue events are skipped.
+	e3 := NewEngine(1)
+	ev := e3.At(5, func() { t.Error("cancelled event ran") })
+	ev.Cancel()
+	ran := false
+	e3.At(6, func() { ran = true })
+	e3.RunUntil(10, nil)
+	if !ran {
+		t.Error("live event after cancelled one did not run")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var trace []int64
+		var step func()
+		step = func() {
+			trace = append(trace, int64(e.Now()))
+			if len(trace) < 50 {
+				e.After(Time(1+e.Rand().Intn(10)), step)
+			}
+		}
+		e.After(1, step)
+		e.Run(0)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different trace lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("engine is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestEventTimeMonotonicProperty(t *testing.T) {
+	// Property: firing order is non-decreasing in time for arbitrary
+	// schedules.
+	f := func(delays []uint8) bool {
+		e := NewEngine(3)
+		var times []Time
+		for _, d := range delays {
+			e.At(Time(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run(0)
+		for i := 1; i < len(times); i++ {
+			if times[i-1] > times[i] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// toyCounter is a round-model "protocol": each node increments until it
+// reaches its index.
+type toyCounter struct {
+	vals []int
+}
+
+func (c *toyCounter) done() bool {
+	for i, v := range c.vals {
+		if v < i {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundRunnerSynchronous(t *testing.T) {
+	c := &toyCounter{vals: make([]int, 5)}
+	rr := &RoundRunner{
+		Scheduler: Synchronous,
+		NodeCount: func() int { return len(c.vals) },
+		Activate: func(i int) bool {
+			if c.vals[i] < i {
+				c.vals[i]++
+				return true
+			}
+			return false
+		},
+		Done: c.done,
+	}
+	res := rr.Run(rand.New(rand.NewSource(1)))
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Rounds != 4 {
+		t.Errorf("Rounds = %d, want 4 (slowest node needs 4 increments)", res.Rounds)
+	}
+	if res.Activations != 0+1+2+3+4 {
+		t.Errorf("Activations = %d, want 10", res.Activations)
+	}
+}
+
+func TestRoundRunnerAlreadyDone(t *testing.T) {
+	rr := &RoundRunner{
+		NodeCount: func() int { return 0 },
+		Activate:  func(int) bool { return false },
+		Done:      func() bool { return true },
+	}
+	res := rr.Run(nil)
+	if !res.Converged || res.Rounds != 0 {
+		t.Errorf("already-done run: %+v", res)
+	}
+}
+
+func TestRoundRunnerMaxRounds(t *testing.T) {
+	rr := &RoundRunner{
+		MaxRounds: 7,
+		NodeCount: func() int { return 1 },
+		Activate:  func(int) bool { return true },
+		Done:      func() bool { return false },
+	}
+	res := rr.Run(rand.New(rand.NewSource(1)))
+	if res.Converged {
+		t.Error("should not converge")
+	}
+	if res.Rounds != 7 {
+		t.Errorf("Rounds = %d, want 7", res.Rounds)
+	}
+}
+
+func TestRoundRunnerHooksAndRandomSequential(t *testing.T) {
+	var begins, ends []int
+	order := make([]int, 0, 30)
+	rr := &RoundRunner{
+		Scheduler:  RandomSequential,
+		MaxRounds:  3,
+		NodeCount:  func() int { return 10 },
+		BeginRound: func(r int) { begins = append(begins, r) },
+		EndRound:   func(r int) { ends = append(ends, r) },
+		Activate: func(i int) bool {
+			order = append(order, i)
+			return false
+		},
+		Done: func() bool { return false },
+	}
+	rr.Run(rand.New(rand.NewSource(5)))
+	if len(begins) != 3 || len(ends) != 3 {
+		t.Errorf("hooks: begins=%v ends=%v", begins, ends)
+	}
+	// Each round must be a permutation of 0..9.
+	for r := 0; r < 3; r++ {
+		seen := map[int]bool{}
+		for _, i := range order[r*10 : (r+1)*10] {
+			seen[i] = true
+		}
+		if len(seen) != 10 {
+			t.Errorf("round %d activations are not a permutation: %v", r, order[r*10:(r+1)*10])
+		}
+	}
+	// At least one round should deviate from identity order (overwhelmingly
+	// likely with this seed).
+	identity := true
+	for i, v := range order[:10] {
+		if v != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Log("first round happened to be identity permutation (seed-dependent)")
+	}
+	if Synchronous.String() != "synchronous" || RandomSequential.String() != "random-sequential" || Scheduler(99).String() != "unknown" {
+		t.Error("Scheduler.String broken")
+	}
+}

@@ -1,0 +1,211 @@
+// Package sroute implements source routes, the virtual links of SSR.
+//
+// A source route is an ordered list of node identifiers starting at the
+// route's owner and ending at the destination; each consecutive pair must be
+// a physical link. SSR nodes exchange messages containing source routes,
+// store them in their caches, and "may append (parts of) them to each other
+// to create new source routes" (§1). Appending two routes and eliding loops
+// is exactly how an update "A→C" received by B becomes B's route "B→C" in
+// the ISPRP example of §3, and how linearization's neighbor-notification
+// pointers are materialized for SSR in §4.
+package sroute
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// Route is a source route: a path of node identifiers from source to
+// destination, inclusive. A valid route has at least one hop and no
+// repeated nodes.
+type Route []ids.ID
+
+// Errors returned by route constructors.
+var (
+	ErrTooShort   = errors.New("sroute: route needs at least two nodes")
+	ErrNoJoin     = errors.New("sroute: routes do not share the join node")
+	ErrHasCycle   = errors.New("sroute: route revisits a node")
+	ErrNotAPath   = errors.New("sroute: consecutive nodes are not physically linked")
+	ErrWrongStart = errors.New("sroute: route does not start at the expected node")
+)
+
+// New validates and returns a route over the given nodes.
+func New(nodes ...ids.ID) (Route, error) {
+	if len(nodes) < 2 {
+		return nil, ErrTooShort
+	}
+	seen := ids.NewSet()
+	for _, v := range nodes {
+		if !seen.Add(v) {
+			return nil, ErrHasCycle
+		}
+	}
+	return Route(nodes), nil
+}
+
+// Src returns the first node of the route.
+func (r Route) Src() ids.ID { return r[0] }
+
+// Dst returns the last node of the route.
+func (r Route) Dst() ids.ID { return r[len(r)-1] }
+
+// Hops returns the number of physical transmissions the route costs.
+func (r Route) Hops() int {
+	if len(r) == 0 {
+		return 0
+	}
+	return len(r) - 1
+}
+
+// Contains reports whether v appears on the route. Every such v is a
+// potential intermediate destination for SSR's greedy routing (§1: "all
+// nodes that are part of a source route in the cache can be viewed as
+// potential destinations, too").
+func (r Route) Contains(v ids.ID) bool {
+	for _, x := range r {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns the position of v on the route, or -1.
+func (r Route) IndexOf(v ids.ID) int {
+	for i, x := range r {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Prefix returns the sub-route from the source up to and including v.
+// It returns nil if v is not on the route or is the source itself.
+func (r Route) Prefix(v ids.ID) Route {
+	i := r.IndexOf(v)
+	if i < 1 {
+		return nil
+	}
+	return append(Route(nil), r[:i+1]...)
+}
+
+// Suffix returns the sub-route from v (inclusive) to the destination, i.e.
+// the route an intermediate node extracts for onward forwarding. It returns
+// nil if v is not on the route or is the destination itself.
+func (r Route) Suffix(v ids.ID) Route {
+	i := r.IndexOf(v)
+	if i < 0 || i == len(r)-1 {
+		return nil
+	}
+	return append(Route(nil), r[i:]...)
+}
+
+// Reverse returns the route from destination back to source. Physical links
+// are bidirectional, so the reverse of a valid route is valid; SSR uses
+// reversed routes to acknowledge messages.
+func (r Route) Reverse() Route {
+	out := make(Route, len(r))
+	for i, v := range r {
+		out[len(r)-1-i] = v
+	}
+	return out
+}
+
+// Append concatenates r (ending at the join node) with next (starting at
+// the join node), then elides any loops, producing a simple route from
+// r.Src() to next.Dst(). This is the route-composition primitive of §1.
+func (r Route) Append(next Route) (Route, error) {
+	if len(r) < 2 || len(next) < 2 {
+		return nil, ErrTooShort
+	}
+	if r.Dst() != next.Src() {
+		return nil, ErrNoJoin
+	}
+	combined := make(Route, 0, len(r)+len(next)-1)
+	combined = append(combined, r...)
+	combined = append(combined, next[1:]...)
+	return combined.ElideLoops(), nil
+}
+
+// ElideLoops removes cycles: whenever a node reappears, the segment between
+// its occurrences is cut. The result is a simple route over the same
+// physical links, never longer than the input.
+func (r Route) ElideLoops() Route {
+	pos := make(map[ids.ID]int, len(r))
+	out := make(Route, 0, len(r))
+	for _, v := range r {
+		if i, ok := pos[v]; ok {
+			// Cut back to the first occurrence of v.
+			for _, cut := range out[i+1:] {
+				delete(pos, cut)
+			}
+			out = out[:i+1]
+			continue
+		}
+		pos[v] = len(out)
+		out = append(out, v)
+	}
+	return out
+}
+
+// ValidOn checks that the route is simple and every consecutive pair is an
+// edge of the physical graph g.
+func (r Route) ValidOn(g *graph.Graph) error {
+	if len(r) < 2 {
+		return ErrTooShort
+	}
+	seen := ids.NewSet()
+	for _, v := range r {
+		if !seen.Add(v) {
+			return ErrHasCycle
+		}
+	}
+	for i := 0; i+1 < len(r); i++ {
+		if !g.HasEdge(r[i], r[i+1]) {
+			return fmt.Errorf("%w: %s-%s", ErrNotAPath, r[i], r[i+1])
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (r Route) Clone() Route { return append(Route(nil), r...) }
+
+// Equal reports element-wise equality.
+func (r Route) Equal(o Route) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "a>b>c".
+func (r Route) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ">")
+}
+
+// FromPath converts a graph path (as returned by graph.ShortestPath) into a
+// route, validating it starts at src.
+func FromPath(src ids.ID, path []ids.ID) (Route, error) {
+	if len(path) < 2 {
+		return nil, ErrTooShort
+	}
+	if path[0] != src {
+		return nil, ErrWrongStart
+	}
+	return New(path...)
+}

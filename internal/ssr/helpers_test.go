@@ -1,0 +1,19 @@
+package ssr
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// newPhysWithEngine builds a network on an existing engine (tests that also
+// drive mobility share the engine).
+func newPhysWithEngine(e *sim.Engine, topo *graph.Graph) *phys.Network {
+	return phys.NewNetwork(e, topo)
+}
+
+// newMobility wires a mobility process for tests.
+func newMobility(net *phys.Network, pos map[ids.ID][2]float64, radius float64) *phys.Mobility {
+	return phys.NewMobility(net, pos, radius)
+}

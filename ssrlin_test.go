@@ -1,0 +1,119 @@
+package ssrlin
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	s, err := NewSimulation(Options{Topology: TopoER, Nodes: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.BootstrapSSR(SSRConfig{CloseRing: true, BothDirections: true})
+	if !res.Converged {
+		t.Fatalf("bootstrap failed: %+v", res)
+	}
+	if !s.Consistent() {
+		t.Error("Consistent should agree with the bootstrap result")
+	}
+	if res.Messages == 0 || res.Time == 0 {
+		t.Errorf("missing accounting: %+v", res)
+	}
+	nodes := s.NodeIDs()
+	if len(nodes) != 20 {
+		t.Fatalf("NodeIDs = %d", len(nodes))
+	}
+	s.SSR().Stop()
+	out := s.Route(nodes[0], nodes[len(nodes)-1])
+	if !out.Delivered {
+		t.Error("routing min->max failed after convergence")
+	}
+	if out.Stretch < 1 {
+		t.Errorf("stretch %f < 1 is impossible", out.Stretch)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s, err := NewSimulation(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.NodeIDs()) != 32 {
+		t.Errorf("default Nodes = %d, want 32", len(s.NodeIDs()))
+	}
+	if s.Consistent() {
+		t.Error("nothing bootstrapped yet")
+	}
+	if out := s.Route(1, 2); out.Delivered {
+		t.Error("routing without bootstrap must fail")
+	}
+}
+
+func TestBadTopology(t *testing.T) {
+	if _, err := NewSimulation(Options{Topology: "nope"}); err == nil {
+		t.Error("unknown topology must error")
+	}
+	if _, err := Linearize("nope", 10, 1, LinearizeConfig{}); err == nil {
+		t.Error("unknown topology must error")
+	}
+}
+
+func TestVRRAndISPRPFacades(t *testing.T) {
+	v, err := NewSimulation(Options{Topology: TopoRegular, Nodes: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := v.BootstrapVRR(VRRConfig{}); !res.Converged {
+		t.Errorf("VRR bootstrap failed: %+v", res)
+	}
+	if v.VRR() == nil || v.SSR() != nil {
+		t.Error("cluster accessors wrong")
+	}
+
+	i, err := NewSimulation(Options{Topology: TopoRegular, Nodes: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := i.BootstrapISPRP(ISPRPConfig{EnableFlood: true}); !res.Converged {
+		t.Errorf("ISPRP bootstrap failed: %+v", res)
+	}
+	if i.ISPRP() == nil {
+		t.Error("ISPRP accessor nil")
+	}
+}
+
+func TestLinearizeFacade(t *testing.T) {
+	stats, err := Linearize(TopoPowerLaw, 300, 5, LinearizeConfig{
+		Variant: LSN, Scheduler: sim.Synchronous,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Errorf("LSN on power-law failed: %s", stats)
+	}
+	if stats.Rounds >= 39 {
+		t.Errorf("rounds = %d, expected well under the paper's 39", stats.Rounds)
+	}
+}
+
+func TestFigureExamplesExported(t *testing.T) {
+	if LoopyExample().Classify().String() != "loopy" {
+		t.Error("LoopyExample should classify loopy")
+	}
+	if SeparateRingsExample().Classify().String() != "partitioned" {
+		t.Error("SeparateRingsExample should classify partitioned")
+	}
+}
+
+func TestLossyFacade(t *testing.T) {
+	s, err := NewSimulation(Options{Topology: TopoER, Nodes: 14, Seed: 9, Loss: 0.05, Latency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := s.BootstrapSSR(SSRConfig{}); !res.Converged {
+		t.Errorf("lossy bootstrap failed: %+v", res)
+	}
+}
