@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check build vet test race smoke bench-trace clean
+
+# The full gate: what CI (and the tier-1 driver) should run.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick -race pass over the two execution models only: the discrete-event
+# engine (sim) and the message layer (phys) are where data races would live.
+smoke:
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/phys/
+
+# Regenerate the tracing-overhead baseline in results/.
+bench-trace:
+	$(GO) run ./cmd/tracebench -out results/BENCH_trace_overhead.json
+
+clean:
+	$(GO) clean ./...

@@ -48,7 +48,17 @@ func main() {
 	n := flag.Int("n", 200, "network size for single-size modes")
 	seeds := flag.Int("seeds", 3, "independent runs per configuration")
 	csv := flag.Bool("csv", false, "emit the result table as CSV instead of aligned text")
+	traceFile := flag.String("trace", "", "write a JSONL event trace of the run to this file")
+	traceLevel := flag.String("trace-level", "round", "trace granularity: off | round | msg")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	closeTrace, err := exp.SetupObservability(*traceFile, *traceLevel, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convergence:", err)
+		os.Exit(2)
+	}
+	defer closeTrace()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {

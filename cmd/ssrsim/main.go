@@ -34,6 +34,7 @@ func emit(r exp.Report, csv bool) {
 	fmt.Println(r)
 }
 
+
 func main() {
 	mode := flag.String("mode", "compare", "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht")
 	sizesFlag := flag.String("sizes", "16,24,32", "comma-separated network sizes for -mode compare")
@@ -44,7 +45,17 @@ func main() {
 	seeds := flag.Int("seeds", 3, "independent runs per configuration")
 	csv := flag.Bool("csv", false, "emit the result table as CSV instead of aligned text")
 	seed := flag.Int64("seed", 1, "seed for single-run modes")
+	traceFile := flag.String("trace", "", "write a JSONL event trace of the run to this file")
+	traceLevel := flag.String("trace-level", "round", "trace granularity: off | round | msg")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	closeTrace, err := exp.SetupObservability(*traceFile, *traceLevel, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssrsim:", err)
+		os.Exit(2)
+	}
+	defer closeTrace()
 
 	t := graph.Topology(*topo)
 	switch *mode {

@@ -1,0 +1,146 @@
+// Command tracebench measures the cost of the tracing layer on the
+// standard 256-node unit-disk SSR bootstrap. It compares the disabled
+// path (nil tracer), the aggregating stats sink, and the streaming JSONL
+// sink, and writes the comparison to a JSON baseline file.
+//
+//	tracebench -out results/BENCH_trace_overhead.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/ssr"
+	"repro/internal/trace"
+)
+
+type config struct {
+	name string
+	mk   func() trace.Tracer
+}
+
+type result struct {
+	Name          string    `json:"name"`
+	Reps          int       `json:"reps"`
+	MeanMs        float64   `json:"mean_ms"`
+	MinMs         float64   `json:"min_ms"`
+	MaxMs         float64   `json:"max_ms"`
+	PerRunMs      []float64 `json:"per_run_ms"`
+	OverheadPct   float64   `json:"overhead_vs_nil_pct"`
+	EventsPerRun  int64     `json:"events_per_run,omitempty"`
+	ConvergedTick int64     `json:"converged_tick"`
+}
+
+type report struct {
+	Bench   string   `json:"bench"`
+	Nodes   int      `json:"nodes"`
+	Topo    string   `json:"topo"`
+	Seed    int64    `json:"seed"`
+	Results []result `json:"results"`
+}
+
+// counting wraps a tracer to count emissions without changing its cost profile much.
+type counting struct {
+	inner trace.Tracer
+	n     int64
+}
+
+func (c *counting) Emit(e trace.Event) {
+	c.n++
+	c.inner.Emit(e)
+}
+
+func runOnce(n int, seed int64, tr trace.Tracer) (time.Duration, int64) {
+	topo, err := graph.Generate(graph.TopoUnitDisk, n, graph.RandomIDs, seed)
+	if err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine(seed)
+	eng.SetTracer(tr)
+	net := phys.NewNetwork(eng, topo, phys.WithTracer(tr))
+	c := ssr.NewCluster(net, ssr.Config{CacheMode: cache.Bounded})
+	start := time.Now()
+	at, ok := c.RunUntilConsistent(2_000_000)
+	elapsed := time.Since(start)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracebench: bootstrap not consistent by t=%d\n", at)
+		os.Exit(1)
+	}
+	c.Stop()
+	return elapsed, int64(at)
+}
+
+func main() {
+	n := flag.Int("n", 256, "network size")
+	reps := flag.Int("reps", 7, "repetitions per configuration")
+	seed := flag.Int64("seed", 7, "topology/engine seed (same across configs)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	configs := []config{
+		{"nil-tracer", func() trace.Tracer { return nil }},
+		{"stats-sink", func() trace.Tracer { return trace.NewStatsSink() }},
+		{"jsonl-sink", func() trace.Tracer { return trace.NewJSONLWriter(io.Discard) }},
+	}
+
+	rep := report{Bench: "ssr-bootstrap-trace-overhead", Nodes: *n, Topo: string(graph.TopoUnitDisk), Seed: *seed}
+	var nilMean float64
+	for _, cfg := range configs {
+		r := result{Name: cfg.name, Reps: *reps}
+		// One warm-up run per config so first-touch allocation noise does
+		// not land on whichever config happens to run first; it doubles as
+		// the event census so timed runs use the bare tracer.
+		if tr := cfg.mk(); tr != nil {
+			cnt := &counting{inner: tr}
+			_, _ = runOnce(*n, *seed, cnt)
+			r.EventsPerRun = cnt.n
+		} else {
+			runOnce(*n, *seed, nil)
+		}
+		sum := 0.0
+		for i := 0; i < *reps; i++ {
+			d, at := runOnce(*n, *seed, cfg.mk())
+			r.ConvergedTick = at
+			ms := float64(d.Microseconds()) / 1000
+			r.PerRunMs = append(r.PerRunMs, ms)
+			sum += ms
+			if i == 0 || ms < r.MinMs {
+				r.MinMs = ms
+			}
+			if ms > r.MaxMs {
+				r.MaxMs = ms
+			}
+		}
+		r.MeanMs = sum / float64(*reps)
+		if cfg.name == "nil-tracer" {
+			nilMean = r.MeanMs
+		} else if nilMean > 0 {
+			r.OverheadPct = (r.MeanMs - nilMean) / nilMean * 100
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Fprintf(os.Stderr, "%-11s mean=%.2fms min=%.2fms max=%.2fms overhead=%+.1f%%\n",
+			r.Name, r.MeanMs, r.MinMs, r.MaxMs, r.OverheadPct)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tracebench:", err)
+		os.Exit(1)
+	}
+}

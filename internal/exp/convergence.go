@@ -22,7 +22,7 @@ func PowerLawConvergence(sizes []int, seeds int) Report {
 		conv := 0
 		for s := 0; s < seeds; s++ {
 			g := topoOrDie(graph.TopoPowerLaw, n, int64(1000*n+s))
-			stats, _ := linearize.Run(g, linearize.Config{
+			stats, _ := runLin(g, linearize.Config{
 				Variant: linearize.LSN, Scheduler: sim.Synchronous, Seed: int64(s),
 			})
 			rounds = append(rounds, stats.Rounds)
@@ -63,7 +63,7 @@ func ConvergenceShape(sizes []int, topo graph.Topology, seeds int) Report {
 			var rounds []int
 			for s := 0; s < seeds; s++ {
 				g := topoOrDie(topo, n, int64(31*n+s))
-				stats, _ := linearize.Run(g, linearize.Config{
+				stats, _ := runLin(g, linearize.Config{
 					Variant: v, Scheduler: sim.Synchronous, Seed: int64(s),
 				})
 				rounds = append(rounds, stats.Rounds)
@@ -93,7 +93,7 @@ func StateSize(sizes []int, seeds int) Report {
 			var peak, final []int
 			for s := 0; s < seeds; s++ {
 				g := topoOrDie(graph.TopoER, n, int64(77*n+s))
-				stats, _ := linearize.Run(g, linearize.Config{
+				stats, _ := runLin(g, linearize.Config{
 					Variant: v, Scheduler: sim.Synchronous, Seed: int64(s),
 				})
 				peak = append(peak, stats.PeakDegree)
@@ -120,7 +120,7 @@ func SelfStabilization(n, perturbations, seeds int) Report {
 	recovered := 0
 	for s := 0; s < seeds; s++ {
 		g := topoOrDie(graph.TopoER, n, int64(13*n+s))
-		stats, line := linearize.Run(g, linearize.Config{
+		stats, line := runLin(g, linearize.Config{
 			Variant: linearize.LSN, Scheduler: sim.Synchronous, Seed: int64(s),
 		})
 		boot = append(boot, stats.Rounds)
@@ -138,7 +138,7 @@ func SelfStabilization(n, perturbations, seeds int) Report {
 		if !perturbed.Connected() {
 			continue // pathological perturbation; skip
 		}
-		stats2, _ := linearize.Run(perturbed, linearize.Config{
+		stats2, _ := runLin(perturbed, linearize.Config{
 			Variant: linearize.LSN, Scheduler: sim.Synchronous, Seed: int64(s + 1),
 		})
 		recover = append(recover, stats2.Rounds)
@@ -168,7 +168,7 @@ func SchedulerAblation(n, seeds int) Report {
 			conv := 0
 			for s := 0; s < seeds; s++ {
 				g := topoOrDie(graph.TopoER, n, int64(7*n+s))
-				stats, _ := linearize.Run(g, linearize.Config{
+				stats, _ := runLin(g, linearize.Config{
 					Variant: v, Scheduler: sched, Seed: int64(s),
 				})
 				rounds = append(rounds, stats.Rounds)

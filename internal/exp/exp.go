@@ -9,8 +9,28 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/graph"
+	"repro/internal/linearize"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
+
+// tracer, when set via EnableTracing, is attached to every network, engine
+// and linearization run the harnesses create, so the cmd/ tools' -trace
+// flag sees the whole stack without threading a handle through every
+// experiment signature.
+var tracer trace.Tracer
+
+// EnableTracing installs the harness-wide tracer (nil disables). Callers
+// own level filtering: pass trace.WithLevel(sink, level).
+func EnableTracing(tr trace.Tracer) { tracer = tr }
+
+// runLin runs one linearization experiment with the harness tracer
+// attached.
+func runLin(g *graph.Graph, cfg linearize.Config) (linearize.Stats, *graph.Graph) {
+	cfg.Tracer = tracer
+	return linearize.Run(g, cfg)
+}
 
 // Report is one experiment's rendered outcome.
 type Report struct {

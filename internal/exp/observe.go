@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served behind -pprof
+	"os"
+
+	"repro/internal/trace"
+)
+
+// SetupObservability wires the cmd/ tools' -trace/-trace-level/-pprof
+// flags: a JSONL event trace of every simulation the harness runs, and the
+// standard net/http/pprof endpoints for profiling long sweeps. Empty
+// traceFile disables tracing; empty pprofAddr disables the profile server.
+// The returned cleanup flushes and closes the trace file (always non-nil).
+func SetupObservability(traceFile, traceLevel, pprofAddr string) (func(), error) {
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
+	if traceFile == "" {
+		return func() {}, nil
+	}
+	level, ok := trace.ParseLevel(traceLevel)
+	if !ok {
+		return func() {}, fmt.Errorf("bad -trace-level %q (want off|round|msg)", traceLevel)
+	}
+	f, err := os.Create(traceFile)
+	if err != nil {
+		return func() {}, fmt.Errorf("-trace: %w", err)
+	}
+	w := trace.NewJSONLWriter(f)
+	EnableTracing(trace.WithLevel(w, level))
+	return func() {
+		EnableTracing(nil)
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace close:", err)
+		}
+	}, nil
+}

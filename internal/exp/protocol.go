@@ -12,11 +12,14 @@ import (
 	"repro/internal/phys"
 	"repro/internal/sim"
 	"repro/internal/ssr"
+	"repro/internal/trace"
 	"repro/internal/vrr"
 )
 
 func newNet(topo graph.Topology, n int, seed int64) *phys.Network {
-	return phys.NewNetwork(sim.NewEngine(seed), topoOrDie(topo, n, seed))
+	eng := sim.NewEngine(seed)
+	eng.SetTracer(tracer)
+	return phys.NewNetwork(eng, topoOrDie(topo, n, seed), phys.WithTracer(tracer))
 }
 
 // MessageCost reproduces experiment E6: physical frames to global
@@ -90,23 +93,26 @@ func MessageCost(sizes []int, topo graph.Topology, seeds int) Report {
 }
 
 // MessageBreakdown details the per-kind message mix of one linearization
-// bootstrap — the companion table to E6.
+// bootstrap — the companion table to E6. The taxonomy comes from a
+// tracer-fed stats sink watching the physical layer, so the same breakdown
+// is available for any traced run, not just this harness.
 func MessageBreakdown(n int, topo graph.Topology, seed int64) Report {
 	rep := Report{ID: "E6b", Title: "Linearization bootstrap message mix"}
 	net := newNet(topo, n, seed)
+	sink := trace.NewStatsSink()
+	net.SetTracer(trace.Tee(net.Tracer(), sink))
 	cl := ssr.NewCluster(net, ssr.Config{CacheMode: cache.Bounded, CloseRing: true, BothDirections: true})
 	at, ok := cl.RunUntilConsistent(sim.Time(n) * 4096)
 	cl.Stop()
-	tab := metrics.NewTable("kind", "frames")
-	for _, kc := range net.Counters().Snapshot() {
-		if strings.HasPrefix(kc.Kind, "drop:") {
-			continue
-		}
-		tab.AddRow(kc.Kind, kc.Count)
-	}
-	tab.AddRow("TOTAL", net.Counters().Total())
-	rep.Table = tab
+	rep.Table = sink.TaxonomyTable()
 	rep.Notes = append(rep.Notes, fmt.Sprintf("n=%d converged=%v at t=%d", n, ok, at))
+	if drops := sink.Drops(); len(drops) > 0 {
+		parts := make([]string, len(drops))
+		for i, d := range drops {
+			parts[i] = fmt.Sprintf("%s=%d", d.Kind, d.Count)
+		}
+		rep.Notes = append(rep.Notes, "drops: "+strings.Join(parts, " "))
+	}
 	return rep
 }
 
@@ -338,11 +344,4 @@ func TeardownAblation(n int, topo graph.Topology, seeds int) Report {
 	}
 	rep.Table = tab
 	return rep
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/sim"
 	"repro/internal/sroute"
+	"repro/internal/trace"
 	"repro/internal/vring"
 )
 
@@ -171,6 +172,14 @@ func (n *Node) maybeFlood() {
 	if n.believesLargest() && (!n.hasFlooded || n.floodedMax < n.id) {
 		n.hasFlooded = true
 		n.floodedMax = n.id
+		if tr := n.net.Tracer(); tr != nil {
+			// One counter event per flood origination; the per-frame flood
+			// taxonomy is covered by the network's EvMsgSend events.
+			tr.Emit(trace.Event{
+				T: int64(n.net.Engine().Now()), Type: trace.EvCounter,
+				Node: n.id, Kind: "isprp:flood-origin", Value: 1,
+			})
+		}
 		n.net.Broadcast(n.id, KindFlood, floodPayload{Origin: n.id, Path: []ids.ID{n.id}})
 	}
 }

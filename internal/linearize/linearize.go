@@ -74,6 +74,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Variant selects the linearization algorithm.
@@ -121,6 +122,16 @@ type Config struct {
 	// OnRound, if set, is called after every round with the round number
 	// and the current virtual graph (read-only). Used for Figure 3 traces.
 	OnRound func(round int, g *graph.Graph)
+	// Tracer, if set, receives structured events: RoundStart/RoundEnd,
+	// per-activation NodeActivate (with the keep-set size), per-change
+	// EdgeAdd/EdgeDelegate, and RingClosed. Nil disables tracing at zero
+	// cost; event timestamps are round indices.
+	Tracer trace.Tracer
+	// Probe, if set, observes the virtual graph after every round — the
+	// invariant monitor that watches connectivity and left/right-set
+	// cardinality round by round and records the distance-to-linearized
+	// series (it also feeds Tracer when its own Tracer field is set).
+	Probe *trace.Probe
 }
 
 // Stats aggregates what a run did — the raw material for experiments E5,
@@ -146,10 +157,11 @@ func (s Stats) String() string {
 // Engine runs a linearization variant over a virtual graph until the goal
 // state. Create with NewEngine, drive with Run.
 type Engine struct {
-	cfg   Config
-	g     *graph.Graph
-	nodes []ids.ID // ascending
-	stats Stats
+	cfg      Config
+	g        *graph.Graph
+	nodes    []ids.ID // ascending
+	stats    Stats
+	curRound int // current round index, for event timestamps
 }
 
 // NewEngine initializes a run on the given virtual graph. Per §4 the
@@ -257,6 +269,37 @@ func (e *Engine) Run() Stats {
 			rr.EndRound = func(round int) { e.cfg.OnRound(round, e.g) }
 		}
 	}
+	// Observability wrapping is layered over whichever hooks the execution
+	// model installed, so the round events bracket the model's own work.
+	if e.cfg.Tracer != nil || e.cfg.Probe != nil {
+		prevBegin, prevEnd := rr.BeginRound, rr.EndRound
+		rr.BeginRound = func(round int) {
+			e.curRound = round
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.Emit(trace.Event{
+					T: int64(round), Type: trace.EvRoundStart,
+					Aux: e.cfg.Variant.String(), Value: float64(e.g.NumEdges()),
+				})
+			}
+			if prevBegin != nil {
+				prevBegin(round)
+			}
+		}
+		rr.EndRound = func(round int) {
+			if prevEnd != nil {
+				prevEnd(round)
+			}
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.Emit(trace.Event{
+					T: int64(round), Type: trace.EvRoundEnd,
+					Aux: e.cfg.Variant.String(), Value: float64(e.g.NumEdges()),
+				})
+			}
+			if e.cfg.Probe != nil {
+				e.cfg.Probe.Observe(round, e.g)
+			}
+		}
+	}
 	res := rr.Run(rng)
 	e.stats.Rounds = res.Rounds
 	e.stats.Converged = res.Converged
@@ -286,6 +329,7 @@ func (e *Engine) proposeInto(staged *graph.Graph, v ids.ID) bool {
 	for _, c := range chainEdges(v, nbrs) {
 		if staged.AddEdge(c.U, c.V) {
 			e.stats.EdgesAdded++
+			e.traceEdge(trace.EvEdgeAdd, c.U, c.V)
 		}
 		if !e.g.HasEdge(c.U, c.V) {
 			changed = true
@@ -312,10 +356,18 @@ func (e *Engine) stepInPlace(v ids.ID) bool {
 			changed = true
 			e.observeNode(c.U)
 			e.observeNode(c.V)
+			e.traceEdge(trace.EvEdgeAdd, c.U, c.V)
 		}
 	}
 	if e.cfg.Variant != Memory {
-		keep := ids.NewSet(e.keepFor(v, nbrs)...)
+		keepNbrs := e.keepFor(v, nbrs)
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.Emit(trace.Event{
+				T: int64(e.curRound), Type: trace.EvNodeActivate,
+				Node: v, Aux: e.cfg.Variant.String(), Value: float64(len(keepNbrs)),
+			})
+		}
+		keep := ids.NewSet(keepNbrs...)
 		for _, w := range nbrs {
 			if keep.Has(w) {
 				continue
@@ -323,6 +375,7 @@ func (e *Engine) stepInPlace(v ids.ID) bool {
 			if e.g.RemoveEdge(v, w) {
 				e.stats.EdgesDropped++
 				changed = true
+				e.traceEdge(trace.EvEdgeDelegate, v, w)
 			}
 		}
 	}
@@ -373,7 +426,22 @@ func (e *Engine) closeRingStep(snapshot, dst *graph.Graph, v ids.ID) bool {
 	if snapshot.HasEdge(min, max) || !snapshot.SupersetOfLine() {
 		return false
 	}
-	return dst.AddEdge(min, max)
+	if !dst.AddEdge(min, max) {
+		return false
+	}
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Emit(trace.Event{
+			T: int64(e.curRound), Type: trace.EvRingClosed, Node: min, Peer: max,
+		})
+	}
+	return true
+}
+
+// traceEdge emits an edge-churn event when tracing is enabled.
+func (e *Engine) traceEdge(t trace.EventType, u, v ids.ID) {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Emit(trace.Event{T: int64(e.curRound), Type: t, Node: u, Peer: v})
+	}
 }
 
 func (e *Engine) observeDegrees(g *graph.Graph) {

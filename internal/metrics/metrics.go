@@ -20,25 +20,38 @@ type Summary struct {
 }
 
 // Summarize computes a Summary of the samples. An empty input yields a
-// zero Summary.
+// zero Summary. NaN samples are dropped (N counts only the retained
+// values); infinities propagate into min/max/mean but leave Stddev zero
+// rather than NaN.
 func Summarize(samples []float64) Summary {
 	var s Summary
-	s.N = len(samples)
+	sorted := make([]float64, 0, len(samples))
+	for _, x := range samples {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	s.N = len(sorted)
 	if s.N == 0 {
 		return s
 	}
-	sorted := append([]float64(nil), samples...)
 	sort.Float64s(sorted)
 	s.Min = sorted[0]
 	s.Max = sorted[s.N-1]
-	var sum, sumSq float64
+	var sum float64
 	for _, x := range sorted {
 		sum += x
-		sumSq += x * x
 	}
 	s.Mean = sum / float64(s.N)
-	variance := sumSq/float64(s.N) - s.Mean*s.Mean
-	if variance > 0 {
+	// Two-pass variance: summing squared deviations instead of
+	// E[x²]−E[x]² avoids the catastrophic cancellation that turned the
+	// variance of near-constant samples negative (or garbage).
+	var devSq float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		devSq += d * d
+	}
+	if variance := devSq / float64(s.N); variance > 0 && !math.IsInf(variance, 0) && !math.IsNaN(variance) {
 		s.Stddev = math.Sqrt(variance)
 	}
 	s.P50 = percentile(sorted, 0.50)
@@ -117,15 +130,24 @@ func (t *Table) AddRow(cells ...any) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// String renders the table with padded columns.
+// String renders the table with padded columns. Column widths are sized
+// over every row, including rows wider than the header, so trailing
+// columns stay aligned; only each row's final cell is left unpadded (no
+// trailing whitespace).
 func (t *Table) String() string {
-	widths := make([]int, len(t.header))
+	cols := len(t.header)
+	for _, row := range t.rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -137,14 +159,14 @@ func (t *Table) String() string {
 				b.WriteString("  ")
 			}
 			b.WriteString(cell)
-			if i < len(widths) && i < len(cells)-1 {
+			if i < len(cells)-1 {
 				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
 			}
 		}
 		b.WriteString("\n")
 	}
 	writeRow(t.header)
-	sep := make([]string, len(t.header))
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}

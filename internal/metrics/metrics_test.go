@@ -154,3 +154,80 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("row2 = %q", lines[2])
 	}
 }
+
+func TestSummarizeDropsNaNKeepsInf(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), 1, 2, math.NaN(), 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("NaN samples not dropped: %+v", s)
+	}
+	s = Summarize([]float64{math.NaN(), math.NaN()})
+	if s.N != 0 {
+		t.Errorf("all-NaN input: %+v", s)
+	}
+	s = Summarize([]float64{1, math.Inf(1)})
+	if s.Max != math.Inf(1) || s.Min != 1 {
+		t.Errorf("Inf sample mishandled: %+v", s)
+	}
+	if math.IsNaN(s.Stddev) {
+		t.Errorf("Inf sample produced NaN stddev: %+v", s)
+	}
+}
+
+func TestSummarizeVarianceCancellation(t *testing.T) {
+	// Huge offset + tiny spread: the one-pass E[x²]−E[x]² formula loses
+	// all significant digits here and can go negative, making Sqrt NaN.
+	base := 1e9
+	samples := []float64{base, base + 1e-3, base - 1e-3}
+	s := Summarize(samples)
+	if math.IsNaN(s.Stddev) || s.Stddev < 0 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	if s.Stddev > 1e-2 {
+		t.Errorf("stddev = %v, want tiny (< 1e-2)", s.Stddev)
+	}
+	// Exactly constant samples must report exactly zero.
+	if s := Summarize([]float64{base, base, base}); s.Stddev != 0 {
+		t.Errorf("constant samples: stddev = %v", s.Stddev)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	one := []float64{42}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := percentile(one, p); got != 42 {
+			t.Errorf("percentile(single, %v) = %v", p, got)
+		}
+	}
+	two := []float64{1, 9}
+	if got := percentile(two, 0.5); got != 1 {
+		t.Errorf("p50 of pair = %v, want lower nearest-rank 1", got)
+	}
+	if got := percentile(two, 0.51); got != 9 {
+		t.Errorf("p51 of pair = %v, want 9", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestTableStringNoTrailingPadding(t *testing.T) {
+	tab := NewTable("name", "n")
+	tab.AddRow("a", 1)
+	tab.AddRow("much-longer-name", 123456)
+	// A row wider than the header must not panic and must render all cells.
+	tab.AddRow("x", 2, "extra")
+	out := tab.String()
+	for i, line := range strings.Split(out, "\n") {
+		if line != strings.TrimRight(line, " ") {
+			t.Errorf("line %d has trailing spaces: %q", i, line)
+		}
+	}
+	if !strings.Contains(out, "extra") {
+		t.Errorf("overflow cell dropped:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n")[2:] {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing row %q", line)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Message is a single-hop physical-layer frame. Protocol payloads ride in
@@ -64,6 +65,7 @@ type Network struct {
 	jitter   sim.Time // uniform extra delay in [0, jitter]
 
 	counters *Counters
+	tracer   trace.Tracer
 }
 
 // Option configures a Network.
@@ -77,6 +79,11 @@ func WithJitter(j sim.Time) Option { return func(n *Network) { n.jitter = j } }
 
 // WithLoss drops each frame independently with probability p.
 func WithLoss(p float64) Option { return func(n *Network) { n.lossProb = p } }
+
+// WithTracer installs a tracer receiving per-frame EvMsgSend / EvMsgRecv /
+// EvMsgDrop events. A nil tracer (the default) keeps the send path on the
+// zero-cost branch.
+func WithTracer(t trace.Tracer) Option { return func(n *Network) { n.tracer = t } }
 
 // NewNetwork builds a network over the given topology. The topology is
 // cloned; later churn does not affect the caller's graph.
@@ -104,6 +111,14 @@ func (n *Network) Topology() *graph.Graph { return n.topo }
 
 // Counters returns the per-kind message accounting.
 func (n *Network) Counters() *Counters { return n.counters }
+
+// Tracer returns the network's tracer (nil when tracing is disabled).
+// Protocol layers emit their own events — ring closure, edge delegation —
+// through it, so one sink sees the whole stack.
+func (n *Network) Tracer() trace.Tracer { return n.tracer }
+
+// SetTracer installs (or with nil removes) the network's tracer.
+func (n *Network) SetTracer(t trace.Tracer) { n.tracer = t }
 
 // Register installs the protocol handler for a node.
 func (n *Network) Register(v ids.ID, h Handler) {
@@ -152,28 +167,54 @@ func (n *Network) Up(v ids.ID) bool {
 func (n *Network) Send(m Message) bool {
 	if !n.Up(m.From) || !n.topo.HasEdge(m.From, m.To) {
 		n.counters.Inc("drop:no-link", 0)
+		n.traceDrop(m, "no-link")
 		return false
 	}
 	n.counters.Inc(m.Kind, 1)
 	if n.lossProb > 0 && n.engine.Rand().Float64() < n.lossProb {
 		n.counters.Inc("drop:loss", 0)
+		n.traceDrop(m, "loss")
 		return true // transmitted, never arrives
 	}
 	d := n.latency(m.From, m.To)
 	if n.jitter > 0 {
 		d += sim.Time(n.engine.Rand().Int63n(int64(n.jitter) + 1))
 	}
+	if n.tracer != nil {
+		n.tracer.Emit(trace.Event{
+			T: int64(n.engine.Now()), Type: trace.EvMsgSend,
+			Node: m.From, Peer: m.To, Kind: m.Kind, Value: float64(d),
+		})
+	}
 	m.Hops++
 	n.engine.After(d, func() {
 		if !n.Up(m.To) || !n.topo.HasEdge(m.From, m.To) {
 			n.counters.Inc("drop:dest-down", 0)
+			n.traceDrop(m, "dest-down")
 			return
+		}
+		if n.tracer != nil {
+			n.tracer.Emit(trace.Event{
+				T: int64(n.engine.Now()), Type: trace.EvMsgRecv,
+				Node: m.To, Peer: m.From, Kind: m.Kind,
+			})
 		}
 		if h, ok := n.handlers[m.To]; ok {
 			h.HandleMessage(m)
 		}
 	})
 	return true
+}
+
+// traceDrop emits a loss event tagged with its reason.
+func (n *Network) traceDrop(m Message, reason string) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Emit(trace.Event{
+		T: int64(n.engine.Now()), Type: trace.EvMsgDrop,
+		Node: m.From, Peer: m.To, Kind: m.Kind, Aux: reason,
+	})
 }
 
 // Broadcast sends a frame of the given kind to every live physical neighbor

@@ -20,6 +20,8 @@ package sim
 import (
 	"container/heap"
 	"math/rand"
+
+	"repro/internal/trace"
 )
 
 // Time is simulated time in abstract ticks.
@@ -30,14 +32,20 @@ type Event struct {
 	At Time
 	Fn func()
 
-	seq   int64 // tie-break: FIFO among same-time events, for determinism
-	index int   // heap bookkeeping
-	dead  bool  // cancelled
+	seq   int64   // tie-break: FIFO among same-time events, for determinism
+	index int     // heap bookkeeping
+	dead  bool    // cancelled
+	eng   *Engine // owning engine, for cancel tracing
 }
 
 // Cancel prevents the event from firing. Safe to call multiple times and
 // after the event fired (then it is a no-op).
-func (e *Event) Cancel() { e.dead = true }
+func (e *Event) Cancel() {
+	if !e.dead && e.eng != nil && e.eng.tracer != nil {
+		e.eng.tracer.Emit(trace.Event{T: int64(e.eng.now), Type: trace.EvSimCancel})
+	}
+	e.dead = true
+}
 
 type eventQueue []*Event
 
@@ -76,6 +84,7 @@ type Engine struct {
 	seq    int64
 	rng    *rand.Rand
 	events int64 // total events executed
+	tracer trace.Tracer
 }
 
 // NewEngine returns an engine whose randomness is derived from seed.
@@ -92,6 +101,15 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // EventsExecuted returns how many events have fired so far.
 func (e *Engine) EventsExecuted() int64 { return e.events }
 
+// SetTracer installs (or with nil removes) the engine's tracer. Firings
+// emit EvSimFire with the remaining queue depth as a gauge value;
+// cancellations emit EvSimCancel. A nil tracer restores the zero-cost
+// fast path.
+func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
+
+// Tracer returns the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() trace.Tracer { return e.tracer }
+
 // Pending returns the number of queued (not yet fired or cancelled) events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
@@ -101,7 +119,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	ev := &Event{At: t, Fn: fn, seq: e.seq, eng: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -124,6 +142,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.At
 		e.events++
+		if e.tracer != nil {
+			e.tracer.Emit(trace.Event{T: int64(e.now), Type: trace.EvSimFire, Value: float64(len(e.queue))})
+		}
 		ev.Fn()
 		return true
 	}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vring"
 )
 
@@ -16,6 +17,7 @@ type Cluster struct {
 	cfg   Config
 
 	minID, maxID ids.ID
+	probeStopped bool
 }
 
 // NewCluster creates one SSR node per topology node and starts them with
@@ -106,11 +108,35 @@ func (c *Cluster) RunUntilConsistent(deadline sim.Time) (sim.Time, bool) {
 	}
 }
 
-// Stop halts all nodes' periodic activity.
+// Stop halts all nodes' periodic activity and any attached probes.
 func (c *Cluster) Stop() {
+	c.probeStopped = true
 	for _, n := range c.Nodes {
 		n.Stop()
 	}
+}
+
+// AttachProbe samples the cluster's virtual graph into the convergence
+// probe every `every` ticks, starting one interval from now, until Stop.
+// Each sample is one "round" of the message-level convergence series —
+// the hook that lets the round-by-round probes of the abstract model watch
+// the asynchronous protocol too.
+func (c *Cluster) AttachProbe(p *trace.Probe, every sim.Time) {
+	if p == nil || every <= 0 {
+		return
+	}
+	round := 0
+	eng := c.Net.Engine()
+	var tick func()
+	tick = func() {
+		if c.probeStopped {
+			return
+		}
+		p.Observe(round, c.VirtualGraph())
+		round++
+		eng.After(every, tick)
+	}
+	eng.After(every, tick)
 }
 
 // RouteResult describes one data-routing attempt (experiment E7).

@@ -41,6 +41,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/sim"
 	"repro/internal/sroute"
+	"repro/internal/trace"
 )
 
 // Message kinds for counter accounting.
@@ -567,6 +568,7 @@ func (n *Node) deliver(pkt phys.SRPacket) {
 		n.rc.Remove(pkt.Route.Src())
 		delete(n.revNbrs, pkt.Route.Src())
 		n.tombstone(pkt.Route.Src(), revNbrTTL)
+		n.traceEvent(trace.EvEdgeDelegate, pkt.Route.Src(), "teardown-recv")
 	case KindDiscover:
 		n.handleDiscover(pkt)
 	case KindDiscoverAck:
@@ -611,7 +613,18 @@ func (n *Node) learn(r sroute.Route) {
 			if _, ok := n.lastHeard[r.Dst()]; !ok {
 				n.lastHeard[r.Dst()] = n.net.Engine().Now()
 			}
+			n.traceEvent(trace.EvEdgeAdd, r.Dst(), "")
 		}
+	}
+}
+
+// traceEvent emits a protocol-level event through the network's tracer:
+// cached-route churn is E_v edge churn, and wrap adoption is ring closure.
+func (n *Node) traceEvent(t trace.EventType, peer ids.ID, aux string) {
+	if tr := n.net.Tracer(); tr != nil {
+		tr.Emit(trace.Event{
+			T: int64(n.net.Engine().Now()), Type: t, Node: n.id, Peer: peer, Aux: aux,
+		})
 	}
 }
 
@@ -661,6 +674,7 @@ func (n *Node) handleAck(pkt phys.SRPacket) {
 		n.rc.Remove(op.farther)
 		delete(n.revNbrs, op.farther)
 		n.tombstone(op.farther, revNbrTTL)
+		n.traceEvent(trace.EvEdgeDelegate, op.farther, "teardown-send")
 	}
 }
 
@@ -715,11 +729,13 @@ func (n *Node) adoptWrap(side ids.Dir, partner ids.ID, route sroute.Route) {
 			return
 		}
 		n.wrapLeft, n.hasWrapLeft, n.wrapLeftRoute = partner, true, route.Clone()
+		n.traceEvent(trace.EvRingClosed, partner, "wrap-left")
 	default:
 		if n.hasWrapRight && metric(n.wrapRight) <= metric(partner) {
 			return
 		}
 		n.wrapRight, n.hasWrapRight, n.wrapRightRoute = partner, true, route.Clone()
+		n.traceEvent(trace.EvRingClosed, partner, "wrap-right")
 	}
 }
 

@@ -1,0 +1,321 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// --- Recorder -------------------------------------------------------------
+
+// Recorder is the in-memory sink for tests and interactive inspection: a
+// ring buffer of the most recent events. The zero value records up to
+// DefaultRecorderCap events; set Cap before first use to change it.
+type Recorder struct {
+	// Cap bounds the number of retained events (<=0: DefaultRecorderCap).
+	Cap int
+
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest retained event
+	total   int64
+	dropped int64
+}
+
+// DefaultRecorderCap is the retention bound of a zero-value Recorder.
+const DefaultRecorderCap = 1 << 16
+
+// Emit appends e, evicting the oldest event when full.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	capN := r.Cap
+	if capN <= 0 {
+		capN = DefaultRecorderCap
+	}
+	r.total++
+	if len(r.buf) < capN {
+		r.buf = append(r.buf, e)
+		return
+	}
+	// Overwrite the oldest slot; the buffer is a ring from here on.
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}
+
+// Total returns how many events were emitted (including evicted ones).
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events the ring buffer evicted.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Filter returns the retained events of the given type, oldest first.
+func (r *Recorder) Filter(t EventType) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all retained events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf, r.start, r.total, r.dropped = nil, 0, 0, 0
+}
+
+// --- JSONL writer ---------------------------------------------------------
+
+// JSONLWriter streams events as one JSON object per line — the offline
+// analysis format. Writes are buffered; call Close (or Flush) before
+// reading the output.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // underlying closer, if any
+	enc *json.Encoder
+	n   int64
+	err error
+}
+
+// NewJSONLWriter wraps w. If w is an io.Closer, Close closes it too.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	j := &JSONLWriter{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit encodes e as one line. The first encode error is sticky and
+// reported by Close.
+func (j *JSONLWriter) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(e); err != nil {
+		j.err = err
+		return
+	}
+	j.n++
+}
+
+// Count returns the number of events successfully encoded.
+func (j *JSONLWriter) Count() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the underlying writer (when closable),
+// returning the first error encountered over the writer's lifetime.
+func (j *JSONLWriter) Close() error {
+	err := j.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadJSONL decodes a JSONL trace back into events — the replay half of
+// the format. It stops at the first malformed line and returns the events
+// decoded so far alongside the error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}
+
+// --- Stats sink -----------------------------------------------------------
+
+// KindTotal is one row of a message-taxonomy breakdown.
+type KindTotal struct {
+	Kind  string
+	Count int64
+}
+
+// GaugeStat summarizes one named gauge.
+type GaugeStat struct {
+	Last, Max float64
+	N         int64
+}
+
+// StatsSink aggregates events instead of retaining them: per-type totals,
+// per-kind message taxonomy (sends and drops separately), named counters
+// and gauges, and round bookkeeping. It is the tracer-fed replacement for
+// ad-hoc experiment counters and feeds internal/metrics tables directly.
+type StatsSink struct {
+	mu       sync.Mutex
+	byType   map[EventType]int64
+	sends    map[string]int64 // message kind -> frames sent
+	drops    map[string]int64 // drop reason (Aux) -> frames lost
+	counters map[string]float64
+	gauges   map[string]GaugeStat
+	rounds   int64
+}
+
+// NewStatsSink returns an empty aggregator.
+func NewStatsSink() *StatsSink {
+	return &StatsSink{
+		byType:   make(map[EventType]int64),
+		sends:    make(map[string]int64),
+		drops:    make(map[string]int64),
+		counters: make(map[string]float64),
+		gauges:   make(map[string]GaugeStat),
+	}
+}
+
+// Emit folds e into the aggregates.
+func (s *StatsSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byType[e.Type]++
+	switch e.Type {
+	case EvMsgSend:
+		s.sends[e.Kind]++
+	case EvMsgDrop:
+		s.drops[e.Aux]++
+	case EvCounter:
+		s.counters[e.Kind] += e.Value
+	case EvGauge:
+		g := s.gauges[e.Kind]
+		g.Last = e.Value
+		if e.Value > g.Max || g.N == 0 {
+			g.Max = e.Value
+		}
+		g.N++
+		s.gauges[e.Kind] = g
+	case EvRoundEnd:
+		s.rounds++
+	}
+}
+
+// TypeCount returns how many events of type t were seen.
+func (s *StatsSink) TypeCount(t EventType) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byType[t]
+}
+
+// Rounds returns the number of completed rounds observed.
+func (s *StatsSink) Rounds() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// Counter returns the accumulated value of a named counter.
+func (s *StatsSink) Counter(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Gauge returns the summary of a named gauge.
+func (s *StatsSink) Gauge(name string) GaugeStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gauges[name]
+}
+
+// MessageTaxonomy returns the per-kind send totals, sorted by kind — the
+// breakdown the E6-family reports print.
+func (s *StatsSink) MessageTaxonomy() []KindTotal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedTotals(s.sends)
+}
+
+// Drops returns the per-reason loss totals, sorted by reason.
+func (s *StatsSink) Drops() []KindTotal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedTotals(s.drops)
+}
+
+// TotalSent returns the number of frames sent across all kinds.
+func (s *StatsSink) TotalSent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, v := range s.sends {
+		t += v
+	}
+	return t
+}
+
+// TaxonomyTable renders the message taxonomy (plus a TOTAL row) as a
+// metrics table, ready to embed in an experiment report.
+func (s *StatsSink) TaxonomyTable() *metrics.Table {
+	tab := metrics.NewTable("kind", "frames", "share")
+	total := s.TotalSent()
+	for _, kt := range s.MessageTaxonomy() {
+		share := 0.0
+		if total > 0 {
+			share = float64(kt.Count) / float64(total)
+		}
+		tab.AddRow(kt.Kind, kt.Count, share)
+	}
+	tab.AddRow("TOTAL", total, 1.0)
+	return tab
+}
+
+func sortedTotals(m map[string]int64) []KindTotal {
+	out := make([]KindTotal, 0, len(m))
+	for k, v := range m {
+		out = append(out, KindTotal{Kind: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"strings"
@@ -8,11 +8,12 @@ import (
 	"repro/internal/ids"
 	"repro/internal/linearize"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vring"
 )
 
 func TestRenderRingLoopy(t *testing.T) {
-	out := RenderRing(vring.LoopyExample())
+	out := trace.RenderRing(vring.LoopyExample())
 	if !strings.Contains(out, "ring 1:") {
 		t.Errorf("missing ring header: %q", out)
 	}
@@ -25,14 +26,14 @@ func TestRenderRingLoopy(t *testing.T) {
 }
 
 func TestRenderRingSeparate(t *testing.T) {
-	out := RenderRing(vring.SeparateRingsExample())
+	out := trace.RenderRing(vring.SeparateRingsExample())
 	if !strings.Contains(out, "ring 1:") || !strings.Contains(out, "ring 2:") {
 		t.Errorf("want two rings: %q", out)
 	}
 }
 
 func TestRenderRingBroken(t *testing.T) {
-	out := RenderRing(vring.SuccMap{1: 2, 2: 3, 3: 2})
+	out := trace.RenderRing(vring.SuccMap{1: 2, 2: 3, 3: 2})
 	if !strings.Contains(out, "broken: [1]") {
 		t.Errorf("broken tail missing: %q", out)
 	}
@@ -40,7 +41,7 @@ func TestRenderRingBroken(t *testing.T) {
 
 func TestRenderLineFlagsViolations(t *testing.T) {
 	g := vring.LoopyExample().ToGraph()
-	out := RenderLine(g)
+	out := trace.RenderLine(g)
 	// §3's diagnosis: 1 and 4 have two right neighbors, 21 and 25 two left.
 	if strings.Count(out, "!multi-right") != 2 {
 		t.Errorf("want 2 multi-right flags:\n%s", out)
@@ -49,7 +50,7 @@ func TestRenderLineFlagsViolations(t *testing.T) {
 		t.Errorf("want 2 multi-left flags:\n%s", out)
 	}
 	line := graph.Line(vring.FigureNodes)
-	clean := RenderLine(line)
+	clean := trace.RenderLine(line)
 	if strings.Contains(clean, "!multi") {
 		t.Errorf("perfect line must not be flagged:\n%s", clean)
 	}
@@ -60,10 +61,10 @@ func TestRenderLineFlagsViolations(t *testing.T) {
 
 func TestRenderEdgesCompact(t *testing.T) {
 	g := graph.Line([]ids.ID{1, 4, 9})
-	if got := RenderEdgesCompact(g); got != "{1,4} {4,9}" {
+	if got := trace.RenderEdgesCompact(g); got != "{1,4} {4,9}" {
 		t.Errorf("compact = %q", got)
 	}
-	if got := RenderEdgesCompact(graph.New()); got != "" {
+	if got := trace.RenderEdgesCompact(graph.New()); got != "" {
 		t.Errorf("empty compact = %q", got)
 	}
 }
@@ -71,7 +72,7 @@ func TestRenderEdgesCompact(t *testing.T) {
 func TestRenderArcs(t *testing.T) {
 	g := graph.Line([]ids.ID{1, 4, 9})
 	g.AddEdge(1, 9)
-	out := RenderArcs(g)
+	out := trace.RenderArcs(g)
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 4 { // axis + 3 edges
 		t.Fatalf("arc lines = %d:\n%s", len(lines), out)
@@ -91,7 +92,7 @@ func TestRenderArcs(t *testing.T) {
 func TestRoundTraceWithEngine(t *testing.T) {
 	// Drive a real linearization run and capture the Fig. 3 trace.
 	g := vring.LoopyExample().ToGraph()
-	var rt RoundTrace
+	var rt trace.RoundTrace
 	rt.ObserveInitial(g)
 	cfg := linearize.Config{
 		Variant:   linearize.Pure,

@@ -307,6 +307,33 @@ func GloballyConsistentLine(g *graph.Graph) bool {
 	return g.IsLinearized()
 }
 
+// LineDistance measures how far a virtual graph is from the sorted line:
+// missing counts consecutive-identifier edges not yet present, surplus
+// counts edges that are neither consecutive nor the potential wrap edge
+// between the extremal nodes (ring state, exempt from linearization — §4).
+// Both are zero exactly on the sorted line or the sorted ring; their sum is
+// the distance-to-linearized metric the convergence probes chart per round.
+func LineDistance(g *graph.Graph) (missing, surplus int) {
+	nodes := g.Nodes()
+	if len(nodes) < 2 {
+		return 0, 0
+	}
+	consecutive := make(map[graph.Edge]bool, len(nodes)-1)
+	for i := 0; i+1 < len(nodes); i++ {
+		consecutive[graph.NewEdge(nodes[i], nodes[i+1])] = true
+		if !g.HasEdge(nodes[i], nodes[i+1]) {
+			missing++
+		}
+	}
+	wrap := graph.NewEdge(nodes[0], nodes[len(nodes)-1])
+	for _, e := range g.Edges() {
+		if !consecutive[e] && e != wrap {
+			surplus++
+		}
+	}
+	return missing, surplus
+}
+
 // --- The paper's figures as executable states -----------------------------
 
 // FigureNodes are the identifiers used in the paper's Figures 1–3.

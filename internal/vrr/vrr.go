@@ -501,13 +501,6 @@ func (n *Node) maybeDiscover() {
 	}
 }
 
-func min(a, b uint) uint {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func (n *Node) wrapStillBest(side ids.Dir) bool {
 	metric := wrapMetric(n.id, side)
 	partner := n.wrapLeft
