@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race smoke bench-trace clean
+.PHONY: check build vet test race smoke bench-trace bench-analyze clean
 
 # The full gate: what CI (and the tier-1 driver) should run.
 check: vet build race
@@ -25,6 +25,11 @@ smoke:
 # Regenerate the tracing-overhead baseline in results/.
 bench-trace:
 	$(GO) run ./cmd/tracebench -out results/BENCH_trace_overhead.json
+
+# Benchmark the tracectl analysis pipeline (Scanner -> Analysis) on a
+# synthetic trace and pin the throughput baseline in results/.
+bench-analyze:
+	$(GO) run ./cmd/tracectl bench -events 500000 -nodes 256 -reps 5 -out results/BENCH_tracectl.json
 
 clean:
 	$(GO) clean ./...

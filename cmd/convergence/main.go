@@ -51,9 +51,10 @@ func main() {
 	traceFile := flag.String("trace", "", "write a JSONL event trace of the run to this file")
 	traceLevel := flag.String("trace-level", "round", "trace granularity: off | round | msg")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	listenAddr := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /probe) on this address (e.g. :9090)")
 	flag.Parse()
 
-	closeTrace, err := exp.SetupObservability(*traceFile, *traceLevel, *pprofAddr)
+	closeTrace, err := exp.SetupObservability(*traceFile, *traceLevel, *pprofAddr, *listenAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "convergence:", err)
 		os.Exit(2)

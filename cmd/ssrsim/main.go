@@ -12,6 +12,11 @@
 //	ssrsim -mode loopy                        # E1b: scaled loopy states
 //	ssrsim -mode overlay -n 32 -pairs 300     # E13: Chord overlay vs SSR underlay
 //	ssrsim -mode dht -n 24                    # E14: DHT workload over SSR
+//	ssrsim -mode boot -proto isprp -n 256     # E6c: one traced bootstrap run
+//
+// Observability: -trace FILE -trace-level {off|round|msg} writes a JSONL
+// event trace, -listen ADDR serves live /metrics (OpenMetrics), /healthz
+// and /probe while the run is in flight, -pprof ADDR serves net/http/pprof.
 package main
 
 import (
@@ -36,7 +41,7 @@ func emit(r exp.Report, csv bool) {
 
 
 func main() {
-	mode := flag.String("mode", "compare", "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht")
+	mode := flag.String("mode", "compare", "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot")
 	sizesFlag := flag.String("sizes", "16,24,32", "comma-separated network sizes for -mode compare")
 	topo := flag.String("topo", string(graph.TopoER), "physical topology")
 	n := flag.Int("n", 24, "network size for single-size modes")
@@ -45,12 +50,15 @@ func main() {
 	seeds := flag.Int("seeds", 3, "independent runs per configuration")
 	csv := flag.Bool("csv", false, "emit the result table as CSV instead of aligned text")
 	seed := flag.Int64("seed", 1, "seed for single-run modes")
+	proto := flag.String("proto", "linearization", "protocol for -mode boot: linearization | isprp | flood")
+	probeEvery := flag.Int("probe-every", 16, "convergence-probe sampling interval in ticks for -mode boot")
 	traceFile := flag.String("trace", "", "write a JSONL event trace of the run to this file")
 	traceLevel := flag.String("trace-level", "round", "trace granularity: off | round | msg")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	listenAddr := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /probe) on this address (e.g. :9090)")
 	flag.Parse()
 
-	closeTrace, err := exp.SetupObservability(*traceFile, *traceLevel, *pprofAddr)
+	closeTrace, err := exp.SetupObservability(*traceFile, *traceLevel, *pprofAddr, *listenAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssrsim:", err)
 		os.Exit(2)
@@ -92,6 +100,14 @@ func main() {
 		emit(exp.OverlayVsUnderlay(*n, t, *pairs, *seed), *csv)
 	case "dht":
 		emit(exp.DHTWorkload(*n, 80, t, *seed), *csv)
+	case "boot":
+		rep, err := exp.Bootstrap(*proto, *n, t, *seed, *probeEvery)
+		if err != nil {
+			closeTrace()
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		emit(rep, *csv)
 	default:
 		fmt.Fprintf(os.Stderr, "ssrsim: unknown mode %q\n", *mode)
 		os.Exit(2)

@@ -1,0 +1,289 @@
+// Command tracectl analyzes JSONL event traces written by the -trace flag
+// of ssrsim and convergence. All subcommands stream through trace.Scanner,
+// so multi-GB traces are processed in constant memory; files ending in .gz
+// are decompressed transparently and "-" reads stdin.
+//
+//	tracectl report run.jsonl                 # convergence verdict, taxonomy, hot spots
+//	tracectl diff lin.jsonl isprp.jsonl       # two runs: rounds + per-type message deltas
+//	tracectl timeline -node 42 run.jsonl      # per-node (or per-round) event slice
+//	tracectl bench -out results/BENCH_tracectl.json
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tracectl <command> [flags] <trace.jsonl[.gz]>…
+
+commands:
+  report    convergence verdict, message taxonomy and per-node hot spots of one trace
+  diff      compare two traces: rounds-to-converge and per-type message deltas
+  timeline  print a filtered slice of events (per node, per type, per time window)
+  bench     measure report-path throughput and write a JSON baseline
+
+run 'tracectl <command> -h' for per-command flags`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "timeline":
+		err = cmdTimeline(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tracectl: unknown command %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracectl:", err)
+		os.Exit(1)
+	}
+}
+
+// openTrace opens a trace for streaming: plain files, .gz files, or stdin.
+func openTrace(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return struct {
+		io.Reader
+		io.Closer
+	}{zr, f}, nil
+}
+
+// analyzeFile streams one trace into an Analysis. A truncated trace is
+// reported on stderr but still analyzed — the partial aggregates are the
+// whole point of the crash-recovery path.
+func analyzeFile(path string) (*trace.Analysis, error) {
+	r, err := openTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	a, serr := trace.AnalyzeStream(trace.NewScanner(r))
+	if serr != nil {
+		fmt.Fprintf(os.Stderr, "tracectl: warning: %s: %v (analyzing the complete prefix)\n", path, serr)
+	}
+	return a, nil
+}
+
+func taxonomyTable(a *trace.Analysis) *metrics.Table {
+	tab := metrics.NewTable("kind", "frames", "share")
+	total := a.TotalSent()
+	for _, kt := range a.Taxonomy() {
+		share := 0.0
+		if total > 0 {
+			share = float64(kt.Count) / float64(total)
+		}
+		tab.AddRow(kt.Kind, kt.Count, share)
+	}
+	tab.AddRow("TOTAL", total, 1.0)
+	return tab
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("tracectl report", flag.ExitOnError)
+	top := fs.Int("top", 10, "rows in the per-node hot-spot table")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: want exactly one trace file, got %d", fs.NArg())
+	}
+	path := fs.Arg(0)
+	a, err := analyzeFile(path)
+	if err != nil {
+		return err
+	}
+
+	first, last := a.TimeSpan()
+	fmt.Printf("== trace report: %s ==\n", path)
+	fmt.Printf("events=%d span=[%d,%d]\n", a.Events(), first, last)
+	fmt.Printf("verdict: %s\n", a.Verdict())
+
+	fmt.Println("\n-- message taxonomy --")
+	fmt.Print(taxonomyTable(a))
+
+	if drops := a.DropTotals(); len(drops) > 0 {
+		fmt.Println("\n-- drops --")
+		tab := metrics.NewTable("reason", "frames")
+		for _, d := range drops {
+			tab.AddRow(d.Kind, d.Count)
+		}
+		fmt.Print(tab)
+	}
+
+	if hot := a.Stats.HotSpotTable(*top); hot.NumRows() > 0 {
+		fmt.Printf("\n-- hot spots (top %d senders) --\n", *top)
+		fmt.Print(hot)
+	} else {
+		fmt.Println("\n(no per-message events: hot spots need a msg-level trace)")
+	}
+	return nil
+}
+
+// fmtRound renders a rounds-to-converge value ( -1 = never).
+func fmtRound(v int64) string {
+	if v < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("tracectl diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two trace files, got %d", fs.NArg())
+	}
+	pa, pb := fs.Arg(0), fs.Arg(1)
+	a, err := analyzeFile(pa)
+	if err != nil {
+		return err
+	}
+	b, err := analyzeFile(pb)
+	if err != nil {
+		return err
+	}
+	va, vb := a.Verdict(), b.Verdict()
+
+	fmt.Printf("== trace diff: A=%s  B=%s ==\n", pa, pb)
+	fmt.Printf("A verdict: %s\n", va)
+	fmt.Printf("B verdict: %s\n\n", vb)
+
+	sum := metrics.NewTable("metric", "A", "B", "delta (B-A)")
+	addInt := func(name string, x, y int64) { sum.AddRow(name, x, y, y-x) }
+	sum.AddRow("rounds-to-converge", fmtRound(va.ConvergedAt), fmtRound(vb.ConvergedAt),
+		deltaRounds(va.ConvergedAt, vb.ConvergedAt))
+	addInt("events", a.Events(), b.Events())
+	addInt("frames sent", a.TotalSent(), b.TotalSent())
+	addInt("oscillations", int64(va.Oscillations), int64(vb.Oscillations))
+	addInt("probe samples", int64(va.Probes), int64(vb.Probes))
+	fmt.Print(sum)
+
+	fmt.Println("\n-- per-type message delta --")
+	kinds := map[string][2]int64{}
+	for _, kt := range a.Taxonomy() {
+		v := kinds[kt.Kind]
+		v[0] = kt.Count
+		kinds[kt.Kind] = v
+	}
+	for _, kt := range b.Taxonomy() {
+		v := kinds[kt.Kind]
+		v[1] = kt.Count
+		kinds[kt.Kind] = v
+	}
+	tab := metrics.NewTable("kind", "A", "B", "delta (B-A)")
+	for _, kind := range sortedKeys(kinds) {
+		v := kinds[kind]
+		tab.AddRow(kind, v[0], v[1], v[1]-v[0])
+	}
+	tab.AddRow("TOTAL", a.TotalSent(), b.TotalSent(), b.TotalSent()-a.TotalSent())
+	fmt.Print(tab)
+	return nil
+}
+
+func deltaRounds(a, b int64) string {
+	if a < 0 || b < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+d", b-a)
+}
+
+func sortedKeys(m map[string][2]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("tracectl timeline", flag.ExitOnError)
+	node := fs.Uint64("node", 0, "only events where this id is the acting node or peer")
+	hasNode := false
+	typ := fs.String("type", "", "only events of this type (e.g. msg-send, probe)")
+	from := fs.Int64("from", 0, "only events with T >= from")
+	to := fs.Int64("to", -1, "only events with T <= to (-1: unbounded)")
+	limit := fs.Int("limit", 0, "stop after printing this many events (0: all)")
+	fs.Parse(args)
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "node" {
+			hasNode = true
+		}
+	})
+	if fs.NArg() != 1 {
+		return fmt.Errorf("timeline: want exactly one trace file, got %d", fs.NArg())
+	}
+	var wantType trace.EventType
+	if *typ != "" {
+		t, ok := trace.ParseEventType(*typ)
+		if !ok {
+			return fmt.Errorf("timeline: unknown event type %q", *typ)
+		}
+		wantType = t
+	}
+
+	r, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	sc := trace.NewScanner(r)
+	printed := 0
+	for sc.Scan() {
+		e := sc.Event()
+		if *typ != "" && e.Type != wantType {
+			continue
+		}
+		if hasNode && e.Node != ids.ID(*node) && e.Peer != ids.ID(*node) {
+			continue
+		}
+		if e.T < *from || (*to >= 0 && e.T > *to) {
+			continue
+		}
+		fmt.Println(e)
+		printed++
+		if *limit > 0 && printed >= *limit {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracectl: warning: %v (printed the complete prefix)\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "%d events matched (%d scanned)\n", printed, sc.Count())
+	return nil
+}

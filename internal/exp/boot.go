@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/floodboot"
+	"repro/internal/graph"
+	"repro/internal/isprp"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/ssr"
+	"repro/internal/trace"
+)
+
+// Bootstrap runs a single bootstrap of one protocol with a convergence
+// probe attached — the traced-run producer behind `ssrsim -mode boot`.
+// Combined with -trace it writes the JSONL traces that cmd/tracectl
+// report/diff consume (the linearization-vs-ISPRP comparison of E6, one
+// run at a time); combined with -listen it is the long-running target for
+// live /metrics and /probe scraping.
+//
+// probeEvery is the sampling interval in engine ticks; each sample is one
+// "round" of the trace's convergence series. At the end of the run the
+// physical per-kind frame counters are re-emitted as "msgs/…" summary
+// counters, so even a round-level trace carries the message taxonomy.
+func Bootstrap(proto string, n int, topo graph.Topology, seed int64, probeEvery int) (Report, error) {
+	rep := Report{ID: "E6c", Title: fmt.Sprintf("single %s bootstrap, n=%d on %s", proto, n, topo)}
+	net := newNet(topo, n, seed)
+	probe := &trace.Probe{Tracer: tracer}
+	deadline := sim.Time(n) * 4096
+	every := sim.Time(probeEvery)
+
+	var at sim.Time
+	var ok bool
+	switch proto {
+	case "linearization":
+		cl := ssr.NewCluster(net, ssr.Config{CacheMode: cache.Bounded})
+		cl.AttachProbe(probe, every)
+		at, ok = cl.RunUntilConsistent(deadline)
+		probe.Observe(probe.Len(), cl.VirtualGraph()) // final post-convergence sample
+		cl.Stop()
+	case "isprp":
+		cl := isprp.NewCluster(net, isprp.Config{EnableFlood: true})
+		cl.AttachProbe(probe, every)
+		at, ok = cl.RunUntilConsistent(deadline)
+		probe.Observe(probe.Len(), cl.VirtualGraph())
+		cl.Stop()
+	case "flood":
+		cl := floodboot.NewCluster(net)
+		at, ok = cl.RunUntilConsistent(deadline)
+	default:
+		return Report{}, fmt.Errorf("unknown protocol %q (want linearization|isprp|flood)", proto)
+	}
+
+	// Re-emit the physical frame economy as summary counters: this is what
+	// keeps coarse (round-level) traces analyzable — tracectl's taxonomy
+	// falls back to msgs/… counters when per-message events were filtered.
+	if tracer != nil {
+		t := int64(net.Engine().Now())
+		for _, kc := range net.Counters().Snapshot() {
+			if kc.Count > 0 {
+				tracer.Emit(trace.Event{
+					T: t, Type: trace.EvCounter,
+					Kind: trace.MsgCounterPrefix + kc.Kind, Value: float64(kc.Count),
+				})
+			}
+		}
+	}
+
+	tab := metrics.NewTable("protocol", "n", "converged", "time", "frames")
+	tab.AddRow(proto, n, ok, int64(at), net.Counters().Total())
+	rep.Table = tab
+	if probe.Len() > 0 {
+		rep.Notes = append(rep.Notes, probe.String())
+	}
+	return rep, nil
+}

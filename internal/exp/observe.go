@@ -6,15 +6,19 @@ import (
 	_ "net/http/pprof" // registered on the default mux, served behind -pprof
 	"os"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
-// SetupObservability wires the cmd/ tools' -trace/-trace-level/-pprof
-// flags: a JSONL event trace of every simulation the harness runs, and the
-// standard net/http/pprof endpoints for profiling long sweeps. Empty
-// traceFile disables tracing; empty pprofAddr disables the profile server.
-// The returned cleanup flushes and closes the trace file (always non-nil).
-func SetupObservability(traceFile, traceLevel, pprofAddr string) (func(), error) {
+// SetupObservability wires the cmd/ tools' observability flags: -trace/
+// -trace-level (a JSONL event trace of every simulation the harness runs),
+// -pprof (the standard net/http/pprof endpoints) and -listen (the live
+// telemetry server: /metrics in OpenMetrics text format, /healthz, /probe).
+// Empty flags disable their features; with all empty the harness tracer
+// stays nil and every emission site keeps its zero-cost nil-guard path.
+// The returned cleanup flushes the trace file and stops the telemetry
+// server (always non-nil).
+func SetupObservability(traceFile, traceLevel, pprofAddr, listenAddr string) (func(), error) {
 	if pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
@@ -22,23 +26,59 @@ func SetupObservability(traceFile, traceLevel, pprofAddr string) (func(), error)
 			}
 		}()
 	}
-	if traceFile == "" {
-		return func() {}, nil
+
+	var telem *telemetry.Server
+	if listenAddr != "" {
+		telem = telemetry.NewServer()
+		bound, err := telem.Start(listenAddr)
+		if err != nil {
+			return func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics /healthz /probe on http://%s\n", bound)
 	}
-	level, ok := trace.ParseLevel(traceLevel)
-	if !ok {
-		return func() {}, fmt.Errorf("bad -trace-level %q (want off|round|msg)", traceLevel)
+
+	var w *trace.JSONLWriter
+	if traceFile != "" {
+		level, ok := trace.ParseLevel(traceLevel)
+		if !ok {
+			if telem != nil {
+				telem.Close()
+			}
+			return func() {}, fmt.Errorf("bad -trace-level %q (want off|round|msg)", traceLevel)
+		}
+		f, err := os.Create(traceFile)
+		if err != nil {
+			if telem != nil {
+				telem.Close()
+			}
+			return func() {}, fmt.Errorf("-trace: %w", err)
+		}
+		w = trace.NewJSONLWriter(f)
+		EnableTracing(trace.Tee(trace.WithLevel(w, level), telemTracer(telem)))
+	} else if telem != nil {
+		EnableTracing(telem.Tracer())
 	}
-	f, err := os.Create(traceFile)
-	if err != nil {
-		return func() {}, fmt.Errorf("-trace: %w", err)
-	}
-	w := trace.NewJSONLWriter(f)
-	EnableTracing(trace.WithLevel(w, level))
+
 	return func() {
 		EnableTracing(nil)
-		if err := w.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "trace close:", err)
+		if w != nil {
+			if err := w.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace close:", err)
+			}
+		}
+		if telem != nil {
+			if err := telem.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "telemetry close:", err)
+			}
 		}
 	}, nil
+}
+
+// telemTracer is the nil-safe accessor (a nil *Server must collapse to a
+// nil Tracer inside Tee, not a typed non-nil interface).
+func telemTracer(t *telemetry.Server) trace.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer()
 }

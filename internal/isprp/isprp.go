@@ -29,6 +29,7 @@ package isprp
 
 import (
 	"repro/internal/cache"
+	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -346,8 +347,9 @@ func (n *Node) learnRoute(r sroute.Route) {
 // Cluster runs ISPRP over an entire network and provides the convergence
 // oracle used by experiments.
 type Cluster struct {
-	Net   *phys.Network
-	Nodes map[ids.ID]*Node
+	Net          *phys.Network
+	Nodes        map[ids.ID]*Node
+	probeStopped bool
 }
 
 // NewCluster creates one ISPRP node per registered topology node and starts
@@ -372,6 +374,42 @@ func (c *Cluster) SuccMap() vring.SuccMap {
 		}
 	}
 	return s
+}
+
+// VirtualGraph snapshots the successor structure as an undirected virtual
+// graph — the view the convergence probes measure. A consistent ring shows
+// up as the sorted line plus the wrap edge, which LineDistance exempts.
+func (c *Cluster) VirtualGraph() *graph.Graph {
+	g := graph.New()
+	for v, n := range c.Nodes {
+		g.AddNode(v)
+		if succ, ok := n.Successor(); ok {
+			g.AddEdge(v, succ)
+		}
+	}
+	return g
+}
+
+// AttachProbe samples the cluster's successor structure into the
+// convergence probe every `every` ticks, starting one interval from now,
+// until Stop — the same observation contract as ssr.Cluster.AttachProbe,
+// so linearization and ISPRP bootstraps produce comparable trace series.
+func (c *Cluster) AttachProbe(p *trace.Probe, every sim.Time) {
+	if p == nil || every <= 0 {
+		return
+	}
+	round := 0
+	eng := c.Net.Engine()
+	var tick func()
+	tick = func() {
+		if c.probeStopped {
+			return
+		}
+		p.Observe(round, c.VirtualGraph())
+		round++
+		eng.After(every, tick)
+	}
+	eng.After(every, tick)
 }
 
 // Consistent reports whether the ring is globally consistent right now.
@@ -405,8 +443,9 @@ func (c *Cluster) RunUntilConsistent(deadline sim.Time) (sim.Time, bool) {
 	}
 }
 
-// Stop halts all nodes' periodic activity.
+// Stop halts all nodes' periodic activity and any attached probes.
 func (c *Cluster) Stop() {
+	c.probeStopped = true
 	for _, n := range c.Nodes {
 		n.Stop()
 	}

@@ -1,0 +1,421 @@
+package metrics
+
+// This file adds the live-telemetry half of the package: a concurrent
+// Registry of named counters, gauges and fixed-bucket histograms with a
+// snapshot API and OpenMetrics/Prometheus text exposition. The experiment
+// harnesses fold trace events into a Registry and internal/telemetry serves
+// it at /metrics, so a long-running churn bootstrap can be scraped mid-run.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind distinguishes the three series shapes a Registry holds.
+type MetricKind uint8
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind the way the exposition's # TYPE line spells it.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind-%d", uint8(k))
+}
+
+// Label is one name="value" pair qualifying a series.
+type Label struct {
+	Name, Value string
+}
+
+// Counter is a monotonically increasing value. Handles are cheap to cache;
+// Add is a lock-free atomic update.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increases the counter by d (negative deltas are ignored: counters
+// only go up).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets (cumulative
+// on exposition, per-bucket internally) plus a +Inf overflow, tracking sum
+// and count for mean reconstruction.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []uint64  // len(bounds)+1, non-cumulative
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, +Inf implicit as the final bucket
+	Counts []uint64  // len(Bounds)+1, non-cumulative
+	Sum    float64
+	Count  uint64
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// ExponentialBuckets returns n upper bounds start, start·factor, … — the
+// usual shape for churn and latency histograms.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   MetricKind
+	bounds []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series // canonical label signature -> series
+}
+
+// Registry is a concurrent collection of metric families. The zero value
+// is not usable; create with NewRegistry. All methods are safe for
+// concurrent use; the returned Counter/Gauge/Histogram handles are safe to
+// cache and update from multiple goroutines.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Describe attaches help text to a metric name, shown as the exposition's
+// # HELP line. Describing before or after first use are both fine.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		// Retain the help until the family is created with a concrete kind.
+		r.families[name] = &family{name: name, help: help, kind: KindCounter, series: nil}
+		return
+	}
+	f.help = help
+}
+
+// familyFor returns the family, creating it with the given kind on first
+// use. A name reused with a different kind panics: that is a programming
+// error, not a runtime condition.
+func (r *Registry) familyFor(name string, kind MetricKind, bounds []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if ok && f.series != nil {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s, used as %s", name, f.kind, kind))
+		}
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok = r.families[name]; ok && f.series != nil {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s, used as %s", name, f.kind, kind))
+		}
+		return f
+	}
+	help := ""
+	if f != nil {
+		help = f.help // Describe arrived before first use
+	}
+	f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]*series)}
+	r.families[name] = f
+	return f
+}
+
+// signature canonicalizes a label set (sorted by name) into a map key.
+func signature(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+func sortedLabels(pairs []string) []Label {
+	if len(pairs)%2 != 0 {
+		panic("metrics: labels must be name/value pairs")
+	}
+	out := make([]Label, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, Label{Name: pairs[i], Value: pairs[i+1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (f *family) seriesFor(labels []Label) *series {
+	sig := signature(labels)
+	f.mu.RLock()
+	s, ok := f.series[sig]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.series[sig]; ok {
+		return s
+	}
+	s = &series{labels: labels}
+	switch f.kind {
+	case KindCounter:
+		s.c = &Counter{}
+	case KindGauge:
+		s.g = &Gauge{}
+	case KindHistogram:
+		s.h = &Histogram{bounds: f.bounds, counts: make([]uint64, len(f.bounds)+1)}
+	}
+	f.series[sig] = s
+	return s
+}
+
+// Counter returns the counter series for name and the given label pairs
+// ("name", "value", …), creating it on first use.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	return r.familyFor(name, KindCounter, nil).seriesFor(sortedLabels(labelPairs)).c
+}
+
+// Gauge returns the gauge series for name and label pairs.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	return r.familyFor(name, KindGauge, nil).seriesFor(sortedLabels(labelPairs)).g
+}
+
+// Histogram returns the histogram series for name and label pairs. The
+// bucket bounds are fixed at family creation; later calls may pass nil.
+func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string) *Histogram {
+	return r.familyFor(name, KindHistogram, bounds).seriesFor(sortedLabels(labelPairs)).h
+}
+
+// Point is one series in a Snapshot: a counter or gauge value, or a
+// histogram state.
+type Point struct {
+	Name   string
+	Kind   MetricKind
+	Labels []Label
+	Value  float64            // counters and gauges
+	Hist   *HistogramSnapshot // histograms only
+}
+
+// Snapshot returns every series, sorted by metric name then label
+// signature — the programmatic view of what WriteOpenMetrics renders.
+func (r *Registry) Snapshot() []Point {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		if f.series != nil {
+			fams = append(fams, f)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var out []Point
+	for _, f := range fams {
+		f.mu.RLock()
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			p := Point{Name: f.name, Kind: f.kind, Labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				p.Value = s.c.Value()
+			case KindGauge:
+				p.Value = s.g.Value()
+			case KindHistogram:
+				h := s.h.snapshot()
+				p.Hist = &h
+			}
+			out = append(out, p)
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func labelBlock(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// fmtValue renders a sample value the way Prometheus expects (no
+// exponent-mangling of integral values, +Inf spelled out).
+func fmtValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics /
+// Prometheus text exposition format, families sorted by name, ending with
+// the required # EOF marker. Counter families get the conventional _total
+// sample suffix; histograms expand into cumulative _bucket series plus
+// _sum and _count.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	points := r.Snapshot()
+	var b strings.Builder
+	var lastFamily string
+	r.mu.RLock()
+	helps := make(map[string]string, len(r.families))
+	for name, f := range r.families {
+		if f.help != "" {
+			helps[name] = f.help
+		}
+	}
+	r.mu.RUnlock()
+	for _, p := range points {
+		if p.Name != lastFamily {
+			lastFamily = p.Name
+			if h := helps[p.Name]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, h)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Kind)
+		}
+		switch p.Kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "%s_total%s %s\n", p.Name, labelBlock(p.Labels), fmtValue(p.Value))
+		case KindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", p.Name, labelBlock(p.Labels), fmtValue(p.Value))
+		case KindHistogram:
+			var cum uint64
+			for i, c := range p.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(p.Hist.Bounds) {
+					le = fmtValue(p.Hist.Bounds[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", p.Name, labelBlock(p.Labels, Label{"le", le}), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, labelBlock(p.Labels), fmtValue(p.Hist.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", p.Name, labelBlock(p.Labels), p.Hist.Count)
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msgs_sent", "kind", "notify")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	if again := r.Counter("msgs_sent", "kind", "notify"); again != c {
+		t.Error("same name+labels must return the same handle")
+	}
+	if other := r.Counter("msgs_sent", "kind", "ack"); other == c {
+		t.Error("different labels must return a different series")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+}
+
+func TestLabelOrderCanonicalized(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", "x", "1", "y", "2")
+	b := r.Counter("m", "y", "2", "x", "1")
+	if a != b {
+		t.Error("label order must not distinguish series")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("churn", []float64{1, 4, 16})
+	for _, v := range []float64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	// le=1: {0,1}; le=4: {2}; le=16: {5}; +Inf: {100}
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+	if snap.Count != 5 || snap.Sum != 108 {
+		t.Errorf("count=%d sum=%v", snap.Count, snap.Sum)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("reusing a counter name as a gauge must panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Inc()
+	r.Counter("alpha", "node", "9").Inc()
+	r.Counter("alpha", "node", "3").Inc()
+	pts := r.Snapshot()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	if pts[0].Name != "alpha" || pts[2].Name != "zeta" {
+		t.Errorf("families not sorted: %v, %v", pts[0].Name, pts[2].Name)
+	}
+	if pts[0].Labels[0].Value != "3" || pts[1].Labels[0].Value != "9" {
+		t.Errorf("series not sorted within family: %+v", pts[:2])
+	}
+}
+
+// TestOpenMetricsGolden pins the exposition format byte-for-byte. Run with
+// -update to regenerate testdata/openmetrics.golden after an intentional
+// format change.
+func TestOpenMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("ssr_messages_sent", "physical frames put on the air")
+	r.Counter("ssr_messages_sent", "kind", "ssr:notify").Add(42)
+	r.Counter("ssr_messages_sent", "kind", "ssr:ack").Add(7)
+	r.Gauge("ssr_probe_distance").Set(13)
+	r.Gauge("ssr_node_up", "node", `weird"label\n`).Set(1)
+	h := r.Histogram("ssr_round_edge_churn", []float64{1, 4, 16})
+	for _, v := range []float64{0, 3, 3, 20} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "openmetrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestOpenMetricsEndsWithEOF(t *testing.T) {
+	var b strings.Builder
+	if err := NewRegistry().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "# EOF\n" {
+		t.Errorf("empty registry exposition = %q", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — the
+// message-model cluster emits from multiple nodes — and is meaningful
+// under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c_total_events").Inc()
+				r.Counter("c_by_node", "node", node).Inc()
+				r.Gauge("g_last", "node", node).Set(float64(i))
+				r.Histogram("h_vals", []float64{10, 100}, "node", node).Observe(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total_events").Value(); got != workers*perWorker {
+		t.Errorf("total = %v, want %d", got, workers*perWorker)
+	}
+	var histCount uint64
+	for _, p := range r.Snapshot() {
+		if p.Name == "h_vals" {
+			histCount += p.Hist.Count
+		}
+	}
+	if histCount != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", histCount, workers*perWorker)
+	}
+}

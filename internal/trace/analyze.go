@@ -1,0 +1,226 @@
+package trace
+
+// This file is the offline-analysis layer consumed by cmd/tracectl: an
+// Analysis folds a stream of events — live from a Tracer or replayed
+// through a Scanner — into the convergence verdict and message-economy
+// aggregates that the report/diff subcommands render. It never retains
+// events, so it composes with Scanner into a constant-memory pipeline.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Counter-name prefixes under which a round-level trace can carry its
+// message economy as summary EvCounter events (one per kind, emitted at
+// the end of a run by the boot harness). Analysis falls back to these when
+// a trace has no per-message events, so `tracectl report` works on coarse
+// traces too.
+const (
+	MsgCounterPrefix  = "msgs/"
+	DropCounterPrefix = "drops/"
+)
+
+// Verdict is the convergence story of one trace, reconstructed from its
+// EvProbe samples (and round bookkeeping when present). The convergence
+// criterion is the "missing" series — consecutive line edges not yet
+// present — when the trace carries it, because legitimate surplus edges
+// (route-cache state) keep the scalar distance nonzero on converged SSR
+// runs; older traces with only a "distance" series fall back to it.
+type Verdict struct {
+	Metric        string // series the criterion used: "missing" or "distance"
+	Probes        int    // criterion samples seen
+	Converged     bool   // criterion series ended at zero
+	ConvergedAt   int64  // T of the first sample of the final all-zero suffix (-1: never)
+	FinalDistance float64
+	Oscillations  int  // criterion samples that regressed upward
+	ConnectedAll  bool // connectivity invariant held at every sample
+	Rounds        int64
+}
+
+// String renders the verdict as the one-line summary tracectl prints.
+func (v Verdict) String() string {
+	if v.Probes == 0 {
+		return "no probe samples in trace (run with -trace-level round or finer)"
+	}
+	var b strings.Builder
+	if v.Converged {
+		fmt.Fprintf(&b, "CONVERGED at round %d", v.ConvergedAt)
+	} else {
+		fmt.Fprintf(&b, "NOT CONVERGED (final %s %g)", v.Metric, v.FinalDistance)
+	}
+	fmt.Fprintf(&b, " | metric=%s probes=%d oscillations=%d connectedAll=%v", v.Metric, v.Probes, v.Oscillations, v.ConnectedAll)
+	if v.Rounds > 0 {
+		fmt.Fprintf(&b, " rounds=%d", v.Rounds)
+	}
+	return b.String()
+}
+
+// seriesTrack folds one probe series into the convergence statistics the
+// verdict needs: last value, onset of the final all-zero suffix, and
+// upward regressions.
+type seriesTrack struct {
+	have        bool
+	n           int
+	last        float64
+	convergedAt int64 // -1 while the series is nonzero
+	osc         int
+}
+
+func (st *seriesTrack) add(t int64, v float64) {
+	st.n++
+	if st.have && v > st.last {
+		st.osc++
+	}
+	if v == 0 {
+		if st.convergedAt < 0 {
+			st.convergedAt = t
+		}
+	} else {
+		st.convergedAt = -1
+	}
+	st.last = v
+	st.have = true
+}
+
+// Analysis aggregates one trace. The zero value is not usable; create
+// with NewAnalysis. It implements Tracer, so it can also watch a live run.
+type Analysis struct {
+	Stats *StatsSink
+
+	mu           sync.Mutex
+	events       int64
+	firstT       int64
+	lastT        int64
+	haveT        bool
+	distance     seriesTrack
+	missing      seriesTrack
+	disconnected bool
+}
+
+// NewAnalysis returns an empty aggregator.
+func NewAnalysis() *Analysis {
+	return &Analysis{
+		Stats:    NewStatsSink(),
+		distance: seriesTrack{convergedAt: -1},
+		missing:  seriesTrack{convergedAt: -1},
+	}
+}
+
+// Emit folds one event. Implements Tracer.
+func (a *Analysis) Emit(e Event) {
+	a.Stats.Emit(e)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events++
+	if !a.haveT || e.T < a.firstT {
+		a.firstT = e.T
+	}
+	if !a.haveT || e.T > a.lastT {
+		a.lastT = e.T
+	}
+	a.haveT = true
+	if e.Type != EvProbe {
+		return
+	}
+	switch e.Kind {
+	case "distance":
+		a.distance.add(e.T, e.Value)
+	case "missing":
+		a.missing.add(e.T, e.Value)
+	case "connected":
+		if e.Value == 0 {
+			a.disconnected = true
+		}
+	}
+}
+
+// Events returns how many events were folded in.
+func (a *Analysis) Events() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.events
+}
+
+// TimeSpan returns the smallest and largest timestamps seen.
+func (a *Analysis) TimeSpan() (first, last int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.firstT, a.lastT
+}
+
+// Verdict assembles the convergence verdict from the folded probe series,
+// judging on "missing" when the trace carries the decomposition and on
+// the scalar "distance" otherwise.
+func (a *Analysis) Verdict() Verdict {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	crit, metric := &a.missing, "missing"
+	if !a.missing.have {
+		crit, metric = &a.distance, "distance"
+	}
+	v := Verdict{
+		Metric:        metric,
+		Probes:        crit.n,
+		FinalDistance: crit.last,
+		Oscillations:  crit.osc,
+		ConnectedAll:  !a.disconnected && crit.n > 0,
+		ConvergedAt:   crit.convergedAt,
+		Rounds:        a.Stats.Rounds(),
+	}
+	v.Converged = crit.have && crit.last == 0
+	if !v.Converged {
+		v.ConvergedAt = -1
+	}
+	return v
+}
+
+// Taxonomy returns the per-kind send totals: from per-message events when
+// the trace has them, else from "msgs/…" summary counters (coarse traces).
+func (a *Analysis) Taxonomy() []KindTotal {
+	if tax := a.Stats.MessageTaxonomy(); len(tax) > 0 {
+		return tax
+	}
+	return a.counterTotals(MsgCounterPrefix)
+}
+
+// DropTotals returns per-reason loss totals, with the same summary-counter
+// fallback as Taxonomy.
+func (a *Analysis) DropTotals() []KindTotal {
+	if d := a.Stats.Drops(); len(d) > 0 {
+		return d
+	}
+	return a.counterTotals(DropCounterPrefix)
+}
+
+// TotalSent sums the taxonomy.
+func (a *Analysis) TotalSent() int64 {
+	var t int64
+	for _, kt := range a.Taxonomy() {
+		t += kt.Count
+	}
+	return t
+}
+
+func (a *Analysis) counterTotals(prefix string) []KindTotal {
+	var out []KindTotal
+	for _, kt := range a.Stats.Counters() {
+		if strings.HasPrefix(kt.Kind, prefix) {
+			out = append(out, KindTotal{Kind: strings.TrimPrefix(kt.Kind, prefix), Count: kt.Count})
+		}
+	}
+	return out
+}
+
+// AnalyzeStream drains a Scanner into a fresh Analysis. It returns the
+// analysis of everything decoded, alongside the scanner's error if the
+// trace was cut short — the partial analysis is still meaningful (the
+// crash-recovery read path).
+func AnalyzeStream(sc *Scanner) (*Analysis, error) {
+	a := NewAnalysis()
+	for sc.Scan() {
+		a.Emit(sc.Event())
+	}
+	return a, sc.Err()
+}

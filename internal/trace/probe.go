@@ -71,6 +71,11 @@ func (p *Probe) Observe(round int, g *graph.Graph) {
 		}
 		t := int64(round)
 		p.Tracer.Emit(Event{T: t, Type: EvProbe, Kind: "distance", Value: float64(s.Distance())})
+		// The decomposition travels too: missing==0 is the global-consistency
+		// criterion that stays meaningful when legitimate surplus edges
+		// (route-cache state) keep the scalar distance nonzero.
+		p.Tracer.Emit(Event{T: t, Type: EvProbe, Kind: "missing", Value: float64(s.Missing)})
+		p.Tracer.Emit(Event{T: t, Type: EvProbe, Kind: "surplus", Value: float64(s.Surplus)})
 		p.Tracer.Emit(Event{T: t, Type: EvProbe, Kind: "connected", Value: conn})
 		p.Tracer.Emit(Event{T: t, Type: EvProbe, Kind: "multi-left", Value: float64(s.MultiLeft)})
 		p.Tracer.Emit(Event{T: t, Type: EvProbe, Kind: "multi-right", Value: float64(s.MultiRight)})

@@ -1,0 +1,95 @@
+package trace
+
+// This file is the streaming half of the JSONL format: a Scanner that
+// decodes one event per Scan call, so cmd/tracectl can analyze multi-GB
+// traces without ever holding more than one line in memory.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Scanner streams events out of a JSONL trace. Usage mirrors
+// bufio.Scanner:
+//
+//	sc := trace.NewScanner(r)
+//	for sc.Scan() {
+//		e := sc.Event()
+//		…
+//	}
+//	if err := sc.Err(); err != nil { … }
+//
+// Lines are read one at a time with no length limit; blank lines are
+// skipped. Scan returns false at EOF or on the first malformed line; Err
+// distinguishes the two (nil on clean EOF). A truncated final line — a
+// partial write with no trailing newline, the crash-recovery case — yields
+// every complete event first, then an error.
+type Scanner struct {
+	r    *bufio.Reader
+	ev   Event
+	err  error
+	line int
+	n    int64
+}
+
+// NewScanner wraps r. The reader is buffered internally; do not read from
+// r while scanning.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Scan advances to the next event, reporting false at EOF or on error.
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for {
+		raw, err := s.r.ReadBytes('\n')
+		if len(raw) == 0 && err != nil {
+			if err != io.EOF {
+				s.err = err
+			}
+			return false
+		}
+		s.line++
+		data := bytes.TrimSpace(raw)
+		if len(data) == 0 {
+			// Blank line: tolerate and keep going (or finish at EOF).
+			if err != nil {
+				if err != io.EOF {
+					s.err = err
+				}
+				return false
+			}
+			continue
+		}
+		var e Event
+		if uerr := json.Unmarshal(data, &e); uerr != nil {
+			s.err = fmt.Errorf("trace: line %d: %w", s.line, uerr)
+			return false
+		}
+		s.ev = e
+		s.n++
+		// A final line without a newline still decoded fine; the next Scan
+		// will observe the EOF.
+		if err != nil && err != io.EOF {
+			s.err = err
+		}
+		return true
+	}
+}
+
+// Event returns the event decoded by the last successful Scan.
+func (s *Scanner) Event() Event { return s.ev }
+
+// Err returns the first error encountered; nil after a clean EOF.
+func (s *Scanner) Err() error { return s.err }
+
+// Line returns the 1-based line number of the last line read.
+func (s *Scanner) Line() int { return s.line }
+
+// Count returns how many events have been decoded so far.
+func (s *Scanner) Count() int64 { return s.n }

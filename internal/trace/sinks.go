@@ -3,11 +3,12 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 
+	"repro/internal/ids"
 	"repro/internal/metrics"
 )
 
@@ -115,8 +116,9 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	return j
 }
 
-// Emit encodes e as one line. The first encode error is sticky and
-// reported by Close.
+// Emit encodes e as one line. The first error — encode or flush — is
+// sticky: once the writer is dead, later emissions are dropped instead of
+// encoded into a failed destination. Close (or Err) reports it.
 func (j *JSONLWriter) Emit(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -137,14 +139,27 @@ func (j *JSONLWriter) Count() int64 {
 	return j.n
 }
 
-// Flush pushes buffered lines to the underlying writer.
+// Err returns the sticky error, if any — the first encode or flush failure
+// over the writer's lifetime.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Flush pushes buffered lines to the underlying writer. A flush failure is
+// as sticky as an encode failure: the writer stops accepting events.
 func (j *JSONLWriter) Flush() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}
-	return j.w.Flush()
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
 }
 
 // Close flushes and closes the underlying writer (when closable),
@@ -160,21 +175,17 @@ func (j *JSONLWriter) Close() error {
 }
 
 // ReadJSONL decodes a JSONL trace back into events — the replay half of
-// the format. It stops at the first malformed line and returns the events
-// decoded so far alongside the error.
+// the format, kept as the convenient load-all API on top of the streaming
+// Scanner. It stops at the first malformed line and returns the events
+// decoded so far alongside the error; a truncated final line therefore
+// yields every complete event plus the error.
 func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := NewScanner(r)
 	var out []Event
-	dec := json.NewDecoder(r)
-	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
-		}
-		out = append(out, e)
+	for sc.Scan() {
+		out = append(out, sc.Event())
 	}
+	return out, sc.Err()
 }
 
 // --- Stats sink -----------------------------------------------------------
@@ -191,15 +202,28 @@ type GaugeStat struct {
 	N         int64
 }
 
+// NodeTotal is one row of a per-node hot-spot breakdown.
+type NodeTotal struct {
+	Node  ids.ID
+	Count int64
+}
+
+// nodeStat accumulates one node's message activity.
+type nodeStat struct {
+	sent, recvd, dropped int64
+}
+
 // StatsSink aggregates events instead of retaining them: per-type totals,
-// per-kind message taxonomy (sends and drops separately), named counters
-// and gauges, and round bookkeeping. It is the tracer-fed replacement for
+// per-kind message taxonomy (sends and drops separately), per-node
+// activity (hot-spot senders/receivers/droppers), named counters and
+// gauges, and round bookkeeping. It is the tracer-fed replacement for
 // ad-hoc experiment counters and feeds internal/metrics tables directly.
 type StatsSink struct {
 	mu       sync.Mutex
 	byType   map[EventType]int64
 	sends    map[string]int64 // message kind -> frames sent
 	drops    map[string]int64 // drop reason (Aux) -> frames lost
+	byNode   map[ids.ID]*nodeStat
 	counters map[string]float64
 	gauges   map[string]GaugeStat
 	rounds   int64
@@ -211,9 +235,19 @@ func NewStatsSink() *StatsSink {
 		byType:   make(map[EventType]int64),
 		sends:    make(map[string]int64),
 		drops:    make(map[string]int64),
+		byNode:   make(map[ids.ID]*nodeStat),
 		counters: make(map[string]float64),
 		gauges:   make(map[string]GaugeStat),
 	}
+}
+
+func (s *StatsSink) nodeStatFor(v ids.ID) *nodeStat {
+	ns := s.byNode[v]
+	if ns == nil {
+		ns = &nodeStat{}
+		s.byNode[v] = ns
+	}
+	return ns
 }
 
 // Emit folds e into the aggregates.
@@ -224,8 +258,12 @@ func (s *StatsSink) Emit(e Event) {
 	switch e.Type {
 	case EvMsgSend:
 		s.sends[e.Kind]++
+		s.nodeStatFor(e.Node).sent++
+	case EvMsgRecv:
+		s.nodeStatFor(e.Node).recvd++
 	case EvMsgDrop:
 		s.drops[e.Aux]++
+		s.nodeStatFor(e.Node).dropped++
 	case EvCounter:
 		s.counters[e.Kind] += e.Value
 	case EvGauge:
@@ -260,6 +298,19 @@ func (s *StatsSink) Counter(name string) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counters[name]
+}
+
+// Counters returns every named counter total, sorted by name. Values are
+// rounded to integers: trace counters count discrete happenings.
+func (s *StatsSink) Counters() []KindTotal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]KindTotal, 0, len(s.counters))
+	for k, v := range s.counters {
+		out = append(out, KindTotal{Kind: k, Count: int64(math.Round(v))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
 }
 
 // Gauge returns the summary of a named gauge.
@@ -308,6 +359,67 @@ func (s *StatsSink) TaxonomyTable() *metrics.Table {
 		tab.AddRow(kt.Kind, kt.Count, share)
 	}
 	tab.AddRow("TOTAL", total, 1.0)
+	return tab
+}
+
+// topNodes returns the k largest entries by pick(stat), ties broken by
+// ascending node id for determinism; k <= 0 means all.
+func (s *StatsSink) topNodes(k int, pick func(*nodeStat) int64) []NodeTotal {
+	s.mu.Lock()
+	out := make([]NodeTotal, 0, len(s.byNode))
+	for v, ns := range s.byNode {
+		if c := pick(ns); c > 0 {
+			out = append(out, NodeTotal{Node: v, Count: c})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TopSenders returns the k nodes that put the most frames on the air.
+func (s *StatsSink) TopSenders(k int) []NodeTotal {
+	return s.topNodes(k, func(ns *nodeStat) int64 { return ns.sent })
+}
+
+// TopReceivers returns the k nodes that had the most frames delivered.
+func (s *StatsSink) TopReceivers(k int) []NodeTotal {
+	return s.topNodes(k, func(ns *nodeStat) int64 { return ns.recvd })
+}
+
+// TopDroppers returns the k nodes whose transmissions were lost most often.
+func (s *StatsSink) TopDroppers(k int) []NodeTotal {
+	return s.topNodes(k, func(ns *nodeStat) int64 { return ns.dropped })
+}
+
+// NodeActivity returns one node's (sent, received, dropped) totals.
+func (s *StatsSink) NodeActivity(v ids.ID) (sent, recvd, dropped int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns := s.byNode[v]
+	if ns == nil {
+		return 0, 0, 0
+	}
+	return ns.sent, ns.recvd, ns.dropped
+}
+
+// HotSpotTable renders the k busiest nodes by frames sent, with their
+// receive and drop totals alongside — the per-node view that localizes a
+// pathological talker (or a partitioned island that stops receiving).
+func (s *StatsSink) HotSpotTable(k int) *metrics.Table {
+	tab := metrics.NewTable("node", "sent", "recvd", "dropped")
+	for _, nt := range s.TopSenders(k) {
+		sent, recvd, dropped := s.NodeActivity(nt.Node)
+		tab.AddRow(nt.Node, sent, recvd, dropped)
+	}
 	return tab
 }
 
