@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race smoke bench-trace bench-analyze clean
+.PHONY: check build vet test race smoke bench-trace bench-analyze bench-scale bench-scale-quick clean
 
 # The full gate: what CI (and the tier-1 driver) should run.
 check: vet build race
@@ -30,6 +30,16 @@ bench-trace:
 # synthetic trace and pin the throughput baseline in results/.
 bench-analyze:
 	$(GO) run ./cmd/tracectl bench -events 500000 -nodes 256 -reps 5 -out results/BENCH_tracectl.json
+
+# Scale bench for the sharded parallel round executor: parallel vs the
+# Workers=1 schedule at n in {10k, 100k} on regular graphs, with an
+# equal-final-graph cross-check. Writes results/BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/ssrsim -mode scale -out results/BENCH_scale.json
+
+# CI smoke variant: small size, tight round caps, throwaway output.
+bench-scale-quick:
+	$(GO) run ./cmd/ssrsim -mode scale -quick -sizes 4000 -workers 2 -out /tmp/BENCH_scale_quick.json
 
 clean:
 	$(GO) clean ./...

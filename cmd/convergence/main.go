@@ -13,77 +13,50 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/exp"
-	"repro/internal/graph"
 )
 
-func parseSizes(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad size %q", part)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-// emit prints a report as text or CSV.
-func emit(r exp.Report, csv bool) {
-	if csv {
-		fmt.Print(r.CSV())
-		return
-	}
-	fmt.Println(r)
-}
-
 func main() {
-	mode := flag.String("mode", "powerlaw", "powerlaw | shape | state | stabilize | scheduler | degree | diameter")
-	sizesFlag := flag.String("sizes", "100,200,400,800", "comma-separated network sizes")
-	topo := flag.String("topo", string(graph.TopoER), "topology for -mode shape")
-	n := flag.Int("n", 200, "network size for single-size modes")
-	seeds := flag.Int("seeds", 3, "independent runs per configuration")
-	csv := flag.Bool("csv", false, "emit the result table as CSV instead of aligned text")
-	traceFile := flag.String("trace", "", "write a JSONL event trace of the run to this file")
-	traceLevel := flag.String("trace-level", "round", "trace granularity: off | round | msg")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	listenAddr := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /probe) on this address (e.g. :9090)")
+	cli := exp.BindCLI(flag.CommandLine, exp.CLIOptions{
+		Modes:        "powerlaw | shape | state | stabilize | scheduler | degree | diameter",
+		DefaultMode:  "powerlaw",
+		DefaultSizes: "100,200,400,800",
+		DefaultN:     200,
+	})
 	flag.Parse()
 
-	closeTrace, err := exp.SetupObservability(*traceFile, *traceLevel, *pprofAddr, *listenAddr)
+	closeTrace, err := cli.Setup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "convergence:", err)
 		os.Exit(2)
 	}
 	defer closeTrace()
 
-	sizes, err := parseSizes(*sizesFlag)
+	sizes, err := cli.SizeList()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "convergence:", err)
 		os.Exit(2)
 	}
 
-	switch *mode {
+	emit := cli.Emit
+	switch *cli.Mode {
 	case "powerlaw":
-		emit(exp.PowerLawConvergence(sizes, *seeds), *csv)
+		emit(exp.PowerLawConvergence(sizes, *cli.Seeds))
 	case "shape":
-		emit(exp.ConvergenceShape(sizes, graph.Topology(*topo), *seeds), *csv)
+		emit(exp.ConvergenceShape(sizes, cli.Topology(), *cli.Seeds))
 	case "state":
-		emit(exp.StateSize(sizes, *seeds), *csv)
+		emit(exp.StateSize(sizes, *cli.Seeds))
 	case "stabilize":
-		emit(exp.SelfStabilization(*n, 4, *seeds), *csv)
+		emit(exp.SelfStabilization(*cli.N, 4, *cli.Seeds))
 	case "scheduler":
-		emit(exp.SchedulerAblation(*n, *seeds), *csv)
+		emit(exp.SchedulerAblation(*cli.N, *cli.Seeds))
 	case "degree":
-		emit(exp.DegreeSweep(*n, []int{3, 4, 6, 8, 12}, *seeds), *csv)
+		emit(exp.DegreeSweep(*cli.N, []int{3, 4, 6, 8, 12}, *cli.Seeds))
 	case "diameter":
-		emit(exp.DiameterSweep(*n, *seeds), *csv)
+		emit(exp.DiameterSweep(*cli.N, *cli.Seeds))
 	default:
-		fmt.Fprintf(os.Stderr, "convergence: unknown mode %q\n", *mode)
+		fmt.Fprintf(os.Stderr, "convergence: unknown mode %q\n", *cli.Mode)
 		os.Exit(2)
 	}
 }

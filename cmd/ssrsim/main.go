@@ -13,6 +13,13 @@
 //	ssrsim -mode overlay -n 32 -pairs 300     # E13: Chord overlay vs SSR underlay
 //	ssrsim -mode dht -n 24                    # E14: DHT workload over SSR
 //	ssrsim -mode boot -proto isprp -n 256     # E6c: one traced bootstrap run
+//	ssrsim -mode scale -sizes 10000,100000    # E15: sharded executor scale bench
+//
+// -mode scale times the sharded parallel round executor (-workers, -shards)
+// against its own Workers=1 schedule on large regular graphs, checks the
+// final virtual graphs are identical, and writes the machine-readable
+// record to -out (default results/BENCH_scale.json). -quick shrinks the
+// round caps for CI smoke runs.
 //
 // Observability: -trace FILE -trace-level {off|round|msg} writes a JSONL
 // event trace, -listen ADDR serves live /metrics (OpenMetrics), /healthz
@@ -23,93 +30,100 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/graph"
 )
 
-// emit prints a report as text or CSV.
-func emit(r exp.Report, csv bool) {
-	if csv {
-		fmt.Print(r.CSV())
-		return
-	}
-	fmt.Println(r)
-}
-
-
 func main() {
-	mode := flag.String("mode", "compare", "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot")
-	sizesFlag := flag.String("sizes", "16,24,32", "comma-separated network sizes for -mode compare")
-	topo := flag.String("topo", string(graph.TopoER), "physical topology")
-	n := flag.Int("n", 24, "network size for single-size modes")
+	cli := exp.BindCLI(flag.CommandLine, exp.CLIOptions{
+		Modes:        "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot | scale",
+		DefaultMode:  "compare",
+		DefaultSizes: "16,24,32",
+	})
 	pairs := flag.Int("pairs", 200, "routed pairs for -mode route (0 = all)")
 	kill := flag.Int("kill", 3, "nodes to fail for -mode churn")
-	seeds := flag.Int("seeds", 3, "independent runs per configuration")
-	csv := flag.Bool("csv", false, "emit the result table as CSV instead of aligned text")
-	seed := flag.Int64("seed", 1, "seed for single-run modes")
-	proto := flag.String("proto", "linearization", "protocol for -mode boot: linearization | isprp | flood")
+	proto := flag.String("proto", "linearization", "protocol for -mode boot: "+strings.Join(exp.ProtocolNames(), " | "))
 	probeEvery := flag.Int("probe-every", 16, "convergence-probe sampling interval in ticks for -mode boot")
-	traceFile := flag.String("trace", "", "write a JSONL event trace of the run to this file")
-	traceLevel := flag.String("trace-level", "round", "trace granularity: off | round | msg")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	listenAddr := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /probe) on this address (e.g. :9090)")
+	out := flag.String("out", "results/BENCH_scale.json", "JSON output path for -mode scale")
+	quick := flag.Bool("quick", false, "shrink -mode scale round caps for a fast smoke run")
 	flag.Parse()
 
-	closeTrace, err := exp.SetupObservability(*traceFile, *traceLevel, *pprofAddr, *listenAddr)
+	closeTrace, err := cli.Setup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssrsim:", err)
 		os.Exit(2)
 	}
 	defer closeTrace()
 
-	t := graph.Topology(*topo)
-	switch *mode {
+	t := cli.Topology()
+	emit := cli.Emit
+	switch *cli.Mode {
 	case "compare":
-		var sizes []int
-		for _, part := range strings.Split(*sizesFlag, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || v <= 0 {
-				fmt.Fprintf(os.Stderr, "ssrsim: bad size %q\n", part)
-				os.Exit(2)
-			}
-			sizes = append(sizes, v)
+		sizes, err := cli.SizeList()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
 		}
-		emit(exp.MessageCost(sizes, t, *seeds), *csv)
+		emit(exp.MessageCost(sizes, t, *cli.Seeds))
 	case "breakdown":
-		emit(exp.MessageBreakdown(*n, t, *seed), *csv)
+		emit(exp.MessageBreakdown(*cli.N, t, *cli.Seed))
 	case "route":
-		emit(exp.Routing(*n, t, *pairs, *seed), *csv)
+		emit(exp.Routing(*cli.N, t, *pairs, *cli.Seed))
 	case "occupancy":
-		emit(exp.CacheOccupancy(*n, t, *seed), *csv)
+		emit(exp.CacheOccupancy(*cli.N, t, *cli.Seed))
 	case "closure":
-		emit(exp.RingClosure(*n, t, *seeds), *csv)
+		emit(exp.RingClosure(*cli.N, t, *cli.Seeds))
 	case "vrr":
-		emit(exp.VRRBootstrap(*n, t, *seeds), *csv)
+		emit(exp.VRRBootstrap(*cli.N, t, *cli.Seeds))
 	case "churn":
-		emit(exp.ChurnRecovery(*n, t, *kill, *seed), *csv)
+		emit(exp.ChurnRecovery(*cli.N, t, *kill, *cli.Seed))
 	case "teardown":
-		emit(exp.TeardownAblation(*n, t, *seeds), *csv)
+		emit(exp.TeardownAblation(*cli.N, t, *cli.Seeds))
 	case "mobility":
-		emit(exp.MobilityRecovery(*n, 1500, 0.02, *seeds), *csv)
+		emit(exp.MobilityRecovery(*cli.N, 1500, 0.02, *cli.Seeds))
 	case "loopy":
-		emit(exp.ScaledLoopy([]int{15, 63, 255}, 2, *seed), *csv)
+		emit(exp.ScaledLoopy([]int{15, 63, 255}, 2, *cli.Seed))
 	case "overlay":
-		emit(exp.OverlayVsUnderlay(*n, t, *pairs, *seed), *csv)
+		emit(exp.OverlayVsUnderlay(*cli.N, t, *pairs, *cli.Seed))
 	case "dht":
-		emit(exp.DHTWorkload(*n, 80, t, *seed), *csv)
+		emit(exp.DHTWorkload(*cli.N, 80, t, *cli.Seed))
 	case "boot":
-		rep, err := exp.Bootstrap(*proto, *n, t, *seed, *probeEvery)
+		rep, err := exp.Bootstrap(*proto, *cli.N, t, *cli.Seed, *probeEvery)
 		if err != nil {
 			closeTrace()
 			fmt.Fprintln(os.Stderr, "ssrsim:", err)
 			os.Exit(2)
 		}
-		emit(rep, *csv)
+		emit(rep)
+	case "scale":
+		// The scale bench has its own defaults: large regular graphs (ER
+		// generation is O(n²)) unless -topo/-sizes were given explicitly.
+		scaleTopo, scaleSizes := graph.TopoRegular, "10000,100000"
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "topo":
+				scaleTopo = t
+			case "sizes":
+				scaleSizes = *cli.Sizes
+			}
+		})
+		sizes, err := exp.ParseSizes(scaleSizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		rep, res := exp.ScaleBench(sizes, scaleTopo, *cli.Workers, *cli.Shards, *cli.Seed, *quick)
+		if err := exp.WriteScaleJSON(*out, res); err != nil {
+			closeTrace()
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		emit(rep)
+		fmt.Fprintf(os.Stderr, "ssrsim: wrote %s\n", *out)
 	default:
-		fmt.Fprintf(os.Stderr, "ssrsim: unknown mode %q\n", *mode)
+		fmt.Fprintf(os.Stderr, "ssrsim: unknown mode %q\n", *cli.Mode)
 		os.Exit(2)
 	}
 }

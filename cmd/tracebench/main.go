@@ -63,8 +63,7 @@ func runOnce(n int, seed int64, tr trace.Tracer) (time.Duration, int64) {
 	if err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine(seed)
-	eng.SetTracer(tr)
+	eng := sim.NewEngine(seed, sim.WithTracer(tr))
 	net := phys.NewNetwork(eng, topo, phys.WithTracer(tr))
 	c := ssr.NewCluster(net, ssr.Config{CacheMode: cache.Bounded})
 	start := time.Now()

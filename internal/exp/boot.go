@@ -3,13 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/cache"
-	"repro/internal/floodboot"
 	"repro/internal/graph"
-	"repro/internal/isprp"
 	"repro/internal/metrics"
 	"repro/internal/sim"
-	"repro/internal/ssr"
 	"repro/internal/trace"
 )
 
@@ -20,6 +16,10 @@ import (
 // run at a time); combined with -listen it is the long-running target for
 // live /metrics and /probe scraping.
 //
+// The protocol is resolved through the Protocol registry (NewBootProtocol),
+// so every registered bootstrap — linearization, isprp, vrr, flood — gets
+// the identical probe/run/teardown treatment.
+//
 // probeEvery is the sampling interval in engine ticks; each sample is one
 // "round" of the trace's convergence series. At the end of the run the
 // physical per-kind frame counters are re-emitted as "msgs/…" summary
@@ -27,31 +27,17 @@ import (
 func Bootstrap(proto string, n int, topo graph.Topology, seed int64, probeEvery int) (Report, error) {
 	rep := Report{ID: "E6c", Title: fmt.Sprintf("single %s bootstrap, n=%d on %s", proto, n, topo)}
 	net := newNet(topo, n, seed)
+	cl, err := NewBootProtocol(proto, net)
+	if err != nil {
+		return Report{}, err
+	}
 	probe := &trace.Probe{Tracer: tracer}
 	deadline := sim.Time(n) * 4096
-	every := sim.Time(probeEvery)
 
-	var at sim.Time
-	var ok bool
-	switch proto {
-	case "linearization":
-		cl := ssr.NewCluster(net, ssr.Config{CacheMode: cache.Bounded})
-		cl.AttachProbe(probe, every)
-		at, ok = cl.RunUntilConsistent(deadline)
-		probe.Observe(probe.Len(), cl.VirtualGraph()) // final post-convergence sample
-		cl.Stop()
-	case "isprp":
-		cl := isprp.NewCluster(net, isprp.Config{EnableFlood: true})
-		cl.AttachProbe(probe, every)
-		at, ok = cl.RunUntilConsistent(deadline)
-		probe.Observe(probe.Len(), cl.VirtualGraph())
-		cl.Stop()
-	case "flood":
-		cl := floodboot.NewCluster(net)
-		at, ok = cl.RunUntilConsistent(deadline)
-	default:
-		return Report{}, fmt.Errorf("unknown protocol %q (want linearization|isprp|flood)", proto)
-	}
+	cl.AttachProbe(probe, sim.Time(probeEvery))
+	at, ok := cl.RunUntilConsistent(deadline)
+	probe.Observe(probe.Len(), cl.VirtualGraph()) // final post-convergence sample
+	cl.Stop()
 
 	// Re-emit the physical frame economy as summary counters: this is what
 	// keeps coarse (round-level) traces analyzable — tracectl's taxonomy

@@ -25,10 +25,26 @@ var tracer trace.Tracer
 // own level filtering: pass trace.WithLevel(sink, level).
 func EnableTracing(tr trace.Tracer) { tracer = tr }
 
-// runLin runs one linearization experiment with the harness tracer
-// attached.
+// defaultWorkers/defaultShards, when set via SetExecutor, select the
+// sharded parallel round executor for every linearization run the
+// harnesses create — the same harness-wide pattern as the tracer, so the
+// cmd/ tools' -workers/-shards flags reach every experiment.
+var defaultWorkers, defaultShards int
+
+// SetExecutor installs the harness-wide round-executor configuration
+// (workers 0 restores the single-threaded legacy executor). Experiments
+// that set Config.Workers themselves are left alone.
+func SetExecutor(workers, shards int) {
+	defaultWorkers, defaultShards = workers, shards
+}
+
+// runLin runs one linearization experiment with the harness tracer and
+// executor configuration attached.
 func runLin(g *graph.Graph, cfg linearize.Config) (linearize.Stats, *graph.Graph) {
 	cfg.Tracer = tracer
+	if cfg.Workers == 0 {
+		cfg.Workers, cfg.Shards = defaultWorkers, defaultShards
+	}
 	return linearize.Run(g, cfg)
 }
 

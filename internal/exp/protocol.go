@@ -17,8 +17,7 @@ import (
 )
 
 func newNet(topo graph.Topology, n int, seed int64) *phys.Network {
-	eng := sim.NewEngine(seed)
-	eng.SetTracer(tracer)
+	eng := sim.NewEngine(seed, sim.WithTracer(tracer))
 	return phys.NewNetwork(eng, topoOrDie(topo, n, seed), phys.WithTracer(tracer))
 }
 

@@ -8,10 +8,12 @@
 package floodboot
 
 import (
+	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/phys"
 	"repro/internal/sim"
 	"repro/internal/sroute"
+	"repro/internal/trace"
 	"repro/internal/vring"
 )
 
@@ -94,8 +96,9 @@ func (n *Node) StateSize() int { return n.known.Len() + len(n.routes) }
 
 // Cluster drives floodboot over a network.
 type Cluster struct {
-	Net   *phys.Network
-	Nodes map[ids.ID]*Node
+	Net          *phys.Network
+	Nodes        map[ids.ID]*Node
+	probeStopped bool
 }
 
 // NewCluster creates and starts one node per topology member.
@@ -120,6 +123,45 @@ func (c *Cluster) SuccMap() vring.SuccMap {
 	}
 	return s
 }
+
+// VirtualGraph returns the successor structure as an undirected graph —
+// the view the convergence probes measure, matching the contract of the
+// other bootstrap protocols' VirtualGraph.
+func (c *Cluster) VirtualGraph() *graph.Graph {
+	g := graph.New()
+	for v, n := range c.Nodes {
+		g.AddNode(v)
+		if succ, ok := n.Successor(); ok {
+			g.AddEdge(v, succ)
+		}
+	}
+	return g
+}
+
+// AttachProbe samples the cluster's successor structure into the
+// convergence probe every `every` ticks, starting one interval from now,
+// until Stop — the same observation contract as ssr.Cluster.AttachProbe.
+func (c *Cluster) AttachProbe(p *trace.Probe, every sim.Time) {
+	if p == nil || every <= 0 {
+		return
+	}
+	round := 0
+	eng := c.Net.Engine()
+	var tick func()
+	tick = func() {
+		if c.probeStopped {
+			return
+		}
+		p.Observe(round, c.VirtualGraph())
+		round++
+		eng.After(every, tick)
+	}
+	eng.After(every, tick)
+}
+
+// Stop halts any attached probes. Flood nodes have no periodic activity of
+// their own; the flood quiesces once every announcement has propagated.
+func (c *Cluster) Stop() { c.probeStopped = true }
 
 // Consistent reports whether every node's local knowledge yields the
 // globally consistent ring.

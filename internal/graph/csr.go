@@ -1,0 +1,162 @@
+package graph
+
+// This file provides the read-optimized snapshot form of a Graph: a
+// compressed-sparse-row adjacency image. The map-of-sets representation is
+// the right shape for the mutation-heavy protocol paths, but the per-round
+// neighbor scans of the synchronous executors touch every adjacency exactly
+// once in identifier order — a workload where map iteration plus a fresh
+// sort per node dominates the profile. The CSR snapshot pays one O(V+E)
+// conversion per round and then serves sorted neighbor rows as contiguous
+// slices, binary-searchable membership, and O(1) per-node identifier spans
+// (the footprint test of the sharded executor).
+//
+// A CSR is immutable after construction and therefore safe for concurrent
+// readers without locking — the property the parallel round executor's
+// snapshot phase relies on.
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// CSR is an immutable compressed-sparse-row snapshot of a Graph. Rows are
+// indexed by the node's dense position in ascending identifier order, so
+// row order and identifier order coincide.
+type CSR struct {
+	nodes []ids.ID // ascending
+	row   []int32  // len(nodes)+1 offsets into nbr
+	nbr   []ids.ID // concatenated per-row neighbor identifiers, each row sorted
+	index map[ids.ID]int32
+}
+
+// NewCSR snapshots g single-threaded. See NewCSRParallel.
+func NewCSR(g *Graph) *CSR { return NewCSRParallel(g, 1) }
+
+// NewCSRParallel snapshots g using up to workers goroutines for the row
+// fill+sort (the dominant cost). workers <= 1 builds sequentially. The
+// result is independent of the worker count.
+func NewCSRParallel(g *Graph, workers int) *CSR {
+	nodes := g.Nodes()
+	n := len(nodes)
+	c := &CSR{
+		nodes: nodes,
+		row:   make([]int32, n+1),
+		index: make(map[ids.ID]int32, n),
+	}
+	total := int32(0)
+	for i, v := range nodes {
+		c.index[v] = int32(i)
+		c.row[i] = total
+		total += int32(g.Degree(v))
+	}
+	c.row[n] = total
+	c.nbr = make([]ids.ID, total)
+
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out := c.nbr[c.row[i]:c.row[i+1]:c.row[i+1]]
+			k := 0
+			for u := range g.Neighbors(nodes[i]) {
+				out[k] = u
+				k++
+			}
+			sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		}
+	}
+	if workers <= 1 || n < 2*workers {
+		fill(0, n)
+		return c
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fill(lo, hi)
+		}()
+	}
+	wg.Wait()
+	return c
+}
+
+// NumNodes returns the node count.
+func (c *CSR) NumNodes() int { return len(c.nodes) }
+
+// NumEdges returns the undirected edge count.
+func (c *CSR) NumEdges() int { return len(c.nbr) / 2 }
+
+// Node returns the identifier at dense index i (ascending order).
+func (c *CSR) Node(i int) ids.ID { return c.nodes[i] }
+
+// Nodes returns the ascending identifier slice. Callers must not mutate it.
+func (c *CSR) Nodes() []ids.ID { return c.nodes }
+
+// IndexOf returns the dense index of v, or ok=false if absent.
+func (c *CSR) IndexOf(v ids.ID) (int, bool) {
+	i, ok := c.index[v]
+	return int(i), ok
+}
+
+// Row returns the sorted neighbor identifiers of the node at dense index i.
+// The slice aliases the snapshot; callers must not mutate it.
+func (c *CSR) Row(i int) []ids.ID { return c.nbr[c.row[i]:c.row[i+1]] }
+
+// Degree returns the degree of the node at dense index i.
+func (c *CSR) Degree(i int) int { return int(c.row[i+1] - c.row[i]) }
+
+// RowSpan returns the smallest and largest neighbor identifier of the node
+// at dense index i, or ok=false for an isolated node. This is the O(1)
+// identifier footprint that shard-interior classification uses.
+func (c *CSR) RowSpan(i int) (lo, hi ids.ID, ok bool) {
+	r := c.Row(i)
+	if len(r) == 0 {
+		return 0, 0, false
+	}
+	return r[0], r[len(r)-1], true
+}
+
+// HasEdge reports whether the snapshot contains the undirected edge {u,v},
+// by binary search in u's row.
+func (c *CSR) HasEdge(u, v ids.ID) bool {
+	i, ok := c.index[u]
+	if !ok {
+		return false
+	}
+	r := c.Row(int(i))
+	k := sort.Search(len(r), func(j int) bool { return r[j] >= v })
+	return k < len(r) && r[k] == v
+}
+
+// MaxDegree returns the maximum degree in the snapshot.
+func (c *CSR) MaxDegree() int {
+	maxDeg := 0
+	for i := 0; i < len(c.nodes); i++ {
+		if d := c.Degree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// SupersetOfLine reports whether the snapshot contains every consecutive
+// edge of the sorted line over its node set — Graph.SupersetOfLine on the
+// frozen image, without map lookups.
+func (c *CSR) SupersetOfLine() bool {
+	for i := 0; i+1 < len(c.nodes); i++ {
+		next := c.nodes[i+1]
+		r := c.Row(i)
+		// The successor is the first row entry greater than nodes[i] that
+		// could equal next; binary search keeps wide rows cheap.
+		k := sort.Search(len(r), func(j int) bool { return r[j] >= next })
+		if k == len(r) || r[k] != next {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// randomTestGraph builds a messy random graph with isolated nodes included.
+func randomTestGraph(n int, p float64, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	nodes := MakeIDs(n, RandomIDs, r)
+	g := NewWithNodes(nodes...)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.AddEdge(nodes[i], nodes[j])
+			}
+		}
+	}
+	return g
+}
+
+func TestCSRMatchesGraph(t *testing.T) {
+	g := randomTestGraph(200, 0.05, 7)
+	c := NewCSR(g)
+	if c.NumNodes() != g.NumNodes() {
+		t.Fatalf("NumNodes: csr %d graph %d", c.NumNodes(), g.NumNodes())
+	}
+	if c.NumEdges() != g.NumEdges() {
+		t.Fatalf("NumEdges: csr %d graph %d", c.NumEdges(), g.NumEdges())
+	}
+	nodes := g.Nodes()
+	for i, v := range nodes {
+		if c.Node(i) != v {
+			t.Fatalf("Node(%d) = %s, want %s", i, c.Node(i), v)
+		}
+		if idx, ok := c.IndexOf(v); !ok || idx != i {
+			t.Fatalf("IndexOf(%s) = %d,%v want %d", v, idx, ok, i)
+		}
+		row := c.Row(i)
+		want := g.NeighborsSorted(v)
+		if len(row) != len(want) {
+			t.Fatalf("Row(%s): len %d want %d", v, len(row), len(want))
+		}
+		for k := range row {
+			if row[k] != want[k] {
+				t.Fatalf("Row(%s)[%d] = %s want %s", v, k, row[k], want[k])
+			}
+		}
+		if lo, hi, ok := c.RowSpan(i); ok != (len(want) > 0) {
+			t.Fatalf("RowSpan(%s) ok=%v with %d neighbors", v, ok, len(want))
+		} else if ok && (lo != want[0] || hi != want[len(want)-1]) {
+			t.Fatalf("RowSpan(%s) = [%s,%s] want [%s,%s]", v, lo, hi, want[0], want[len(want)-1])
+		}
+	}
+	// Edge membership agrees on present and absent pairs.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		u := nodes[r.Intn(len(nodes))]
+		v := nodes[r.Intn(len(nodes))]
+		if c.HasEdge(u, v) != g.HasEdge(u, v) {
+			t.Fatalf("HasEdge(%s,%s): csr %v graph %v", u, v, c.HasEdge(u, v), g.HasEdge(u, v))
+		}
+	}
+	if c.MaxDegree() != g.MaxDegree() {
+		t.Fatalf("MaxDegree: csr %d graph %d", c.MaxDegree(), g.MaxDegree())
+	}
+	if c.HasEdge(ids.ID(1234567), nodes[0]) {
+		t.Fatal("HasEdge on absent node must be false")
+	}
+}
+
+func TestCSRSupersetOfLine(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	nodes := MakeIDs(64, RandomIDs, r)
+	line := Line(nodes)
+	if c := NewCSR(line); !c.SupersetOfLine() {
+		t.Fatal("line graph: SupersetOfLine must hold")
+	}
+	line.AddEdge(line.Nodes()[0], line.Nodes()[10])
+	if c := NewCSR(line); !c.SupersetOfLine() {
+		t.Fatal("line + chord: SupersetOfLine must hold")
+	}
+	sorted := line.Nodes()
+	line.RemoveEdge(sorted[4], sorted[5])
+	if c := NewCSR(line); c.SupersetOfLine() {
+		t.Fatal("broken line: SupersetOfLine must fail")
+	}
+	if g := randomTestGraph(50, 0.1, 11); NewCSR(g).SupersetOfLine() != g.SupersetOfLine() {
+		t.Fatal("SupersetOfLine disagrees with Graph on random graph")
+	}
+}
+
+func TestCSRParallelBuildIdentical(t *testing.T) {
+	g := randomTestGraph(500, 0.02, 21)
+	base := NewCSR(g)
+	for _, w := range []int{2, 4, 8} {
+		c := NewCSRParallel(g, w)
+		if c.NumNodes() != base.NumNodes() || c.NumEdges() != base.NumEdges() {
+			t.Fatalf("workers=%d: size mismatch", w)
+		}
+		for i := 0; i < base.NumNodes(); i++ {
+			r1, r2 := base.Row(i), c.Row(i)
+			if len(r1) != len(r2) {
+				t.Fatalf("workers=%d row %d: len %d want %d", w, i, len(r2), len(r1))
+			}
+			for k := range r1 {
+				if r1[k] != r2[k] {
+					t.Fatalf("workers=%d row %d[%d]: %s want %s", w, i, k, r2[k], r1[k])
+				}
+			}
+		}
+	}
+}
+
+func TestCSREmptyAndTiny(t *testing.T) {
+	if c := NewCSR(New()); c.NumNodes() != 0 || c.NumEdges() != 0 || c.SupersetOfLine() != true {
+		t.Fatal("empty graph CSR misbehaves")
+	}
+	g := NewWithNodes(ids.ID(5))
+	c := NewCSR(g)
+	if _, _, ok := c.RowSpan(0); ok {
+		t.Fatal("isolated node must have no row span")
+	}
+}

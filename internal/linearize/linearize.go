@@ -119,6 +119,21 @@ type Config struct {
 	// largest node once the line is in place (§4's discovery step,
 	// abstracted). The wrap edge is exempt from linearization.
 	CloseRing bool
+	// Workers selects the executor for the Synchronous scheduler: 0 keeps
+	// the single-threaded legacy executor, k >= 1 runs the sharded parallel
+	// executor with a pool of k goroutines (see parallel.go). The final
+	// graph and stats are a pure function of the shard partition — identical
+	// for every Workers >= 1. The RandomSequential daemon is inherently
+	// serial and ignores both fields.
+	Workers int
+	// Shards overrides the parallel executor's partition size (<= 0:
+	// sim.DefaultShards over the node count). Unlike Workers it is part of
+	// the schedule: Pure and LSN activate shard-interior nodes before
+	// boundary nodes, so different shard counts may take different (equally
+	// valid) trajectories. Shards=1 reproduces the legacy executor's
+	// schedule exactly; Memory is Jacobi-style and matches the legacy
+	// executor under every shard count.
+	Shards int
 	// OnRound, if set, is called after every round with the round number
 	// and the current virtual graph (read-only). Used for Figure 3 traces.
 	OnRound func(round int, g *graph.Graph)
@@ -145,6 +160,10 @@ type Stats struct {
 	EdgesDropped int64 // edge removals ≈ teardowns needed
 	PeakDegree   int   // maximum node degree ever observed (state bound)
 	FinalEdges   int   // edges at the fixed point
+	// Par describes the sharded executor's run shape when it ran
+	// (Config.Workers > 0 under the synchronous scheduler); the zero value
+	// means the single-threaded legacy executor.
+	Par ParallelStats
 }
 
 // String renders a one-line summary.
@@ -239,7 +258,11 @@ func (e *Engine) Run() Stats {
 			max = 1024
 		}
 	}
+	if e.cfg.Workers > 0 && e.cfg.Scheduler == sim.Synchronous {
+		return e.runSharded(max)
+	}
 	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	root := &opSink{e: e, direct: true}
 	rr := &sim.RoundRunner{
 		Scheduler: e.cfg.Scheduler,
 		MaxRounds: max,
@@ -252,7 +275,7 @@ func (e *Engine) Run() Stats {
 			staged = e.g.Clone()
 		}
 		rr.Activate = func(i int) bool {
-			return e.proposeInto(staged, e.nodes[i])
+			return e.proposeInto(staged, e.nodes[i], root)
 		}
 		rr.EndRound = func(round int) {
 			e.g = staged
@@ -263,7 +286,7 @@ func (e *Engine) Run() Stats {
 		}
 	} else {
 		rr.Activate = func(i int) bool {
-			return e.stepInPlace(e.nodes[i])
+			return e.stepInPlace(e.nodes[i], root)
 		}
 		if e.cfg.OnRound != nil {
 			rr.EndRound = func(round int) { e.cfg.OnRound(round, e.g) }
@@ -319,24 +342,107 @@ func (e *Engine) lineNeighbors(g *graph.Graph, v ids.ID) []ids.ID {
 	return out
 }
 
+// opSink collects the side effects of node operations — stat deltas and
+// trace events. The legacy single-threaded executor uses one direct sink
+// that writes straight into the engine's stats and tracer; the sharded
+// executor gives each shard a buffering sink whose contents are merged in
+// shard order during the sequential Finish phase, so the observable stream
+// is deterministic regardless of worker scheduling.
+type opSink struct {
+	e       *Engine
+	direct  bool // write through to e.stats / e.cfg.Tracer immediately
+	added   int64
+	dropped int64
+	peak    int
+	events  []trace.Event
+}
+
+func (s *opSink) addEdge() {
+	if s.direct {
+		s.e.stats.EdgesAdded++
+	} else {
+		s.added++
+	}
+}
+
+func (s *opSink) dropEdge() {
+	if s.direct {
+		s.e.stats.EdgesDropped++
+	} else {
+		s.dropped++
+	}
+}
+
+// observe folds the current degree of a touched node into the peak-degree
+// statistic — O(1) per touched endpoint instead of a full-graph rescan.
+func (s *opSink) observe(v ids.ID) {
+	d := s.e.g.Degree(v)
+	if s.direct {
+		if d > s.e.stats.PeakDegree {
+			s.e.stats.PeakDegree = d
+		}
+	} else if d > s.peak {
+		s.peak = d
+	}
+}
+
+func (s *opSink) emit(ev trace.Event) {
+	if s.e.cfg.Tracer == nil {
+		return
+	}
+	if s.direct {
+		s.e.cfg.Tracer.Emit(ev)
+		return
+	}
+	s.events = append(s.events, ev)
+}
+
+func (s *opSink) traceEdge(t trace.EventType, u, v ids.ID) {
+	if s.e.cfg.Tracer != nil {
+		s.emit(trace.Event{T: int64(s.e.curRound), Type: t, Node: u, Peer: v})
+	}
+}
+
+func (s *opSink) reset() {
+	s.added, s.dropped, s.peak = 0, 0, 0
+	s.events = s.events[:0]
+}
+
+// flush merges a buffering sink into the engine's stats and tracer. Only
+// called from sequential contexts (the Finish phase).
+func (s *opSink) flush() {
+	e := s.e
+	e.stats.EdgesAdded += s.added
+	e.stats.EdgesDropped += s.dropped
+	if s.peak > e.stats.PeakDegree {
+		e.stats.PeakDegree = s.peak
+	}
+	if e.cfg.Tracer != nil {
+		for _, ev := range s.events {
+			e.cfg.Tracer.Emit(ev)
+		}
+	}
+	s.reset()
+}
+
 // proposeInto applies v's linearization proposal (reading the snapshot e.g,
 // writing adds into staged) for the synchronous model of the monotone
 // variants (Memory, LSN). It reports whether v's proposal differs from the
 // snapshot state.
-func (e *Engine) proposeInto(staged *graph.Graph, v ids.ID) bool {
+func (e *Engine) proposeInto(staged *graph.Graph, v ids.ID, sink *opSink) bool {
 	nbrs := e.lineNeighbors(e.g, v)
 	changed := false
 	for _, c := range chainEdges(v, nbrs) {
 		if staged.AddEdge(c.U, c.V) {
-			e.stats.EdgesAdded++
-			e.traceEdge(trace.EvEdgeAdd, c.U, c.V)
+			sink.addEdge()
+			sink.traceEdge(trace.EvEdgeAdd, c.U, c.V)
 		}
 		if !e.g.HasEdge(c.U, c.V) {
 			changed = true
 		}
 	}
-	if e.closeRingStep(e.g, staged, v) {
-		e.stats.EdgesAdded++
+	if e.closeRingStep(e.g, staged, v, sink) {
+		sink.addEdge()
 		changed = true
 	}
 	return changed
@@ -345,24 +451,28 @@ func (e *Engine) proposeInto(staged *graph.Graph, v ids.ID) bool {
 // stepInPlace atomically applies v's operation on the live graph: add the
 // chain edges, then delegate away the neighbors outside v's keep set (the
 // chain has just connected each of them to a strictly closer node, so no
-// removal loses information). It reports whether any edge changed.
-func (e *Engine) stepInPlace(v ids.ID) bool {
+// removal loses information). It reports whether any edge changed. All side
+// effects flow through sink; when run from a shard worker, every touched
+// edge has both endpoints inside the shard's identifier interval (the
+// interior contract of the parallel executor), so the graph mutation is
+// single-writer even though shards run concurrently.
+func (e *Engine) stepInPlace(v ids.ID, sink *opSink) bool {
 	nbrs := append([]ids.ID(nil), e.lineNeighbors(e.g, v)...)
 	chain := chainEdges(v, nbrs)
 	changed := false
 	for _, c := range chain {
 		if e.g.AddEdge(c.U, c.V) {
-			e.stats.EdgesAdded++
+			sink.addEdge()
 			changed = true
-			e.observeNode(c.U)
-			e.observeNode(c.V)
-			e.traceEdge(trace.EvEdgeAdd, c.U, c.V)
+			sink.observe(c.U)
+			sink.observe(c.V)
+			sink.traceEdge(trace.EvEdgeAdd, c.U, c.V)
 		}
 	}
 	if e.cfg.Variant != Memory {
 		keepNbrs := e.keepFor(v, nbrs)
 		if e.cfg.Tracer != nil {
-			e.cfg.Tracer.Emit(trace.Event{
+			sink.emit(trace.Event{
 				T: int64(e.curRound), Type: trace.EvNodeActivate,
 				Node: v, Aux: e.cfg.Variant.String(), Value: float64(len(keepNbrs)),
 			})
@@ -373,14 +483,14 @@ func (e *Engine) stepInPlace(v ids.ID) bool {
 				continue
 			}
 			if e.g.RemoveEdge(v, w) {
-				e.stats.EdgesDropped++
+				sink.dropEdge()
 				changed = true
-				e.traceEdge(trace.EvEdgeDelegate, v, w)
+				sink.traceEdge(trace.EvEdgeDelegate, v, w)
 			}
 		}
 	}
-	if e.closeRingStep(e.g, e.g, v) {
-		e.stats.EdgesAdded++
+	if e.closeRingStep(e.g, e.g, v, sink) {
+		sink.addEdge()
 		changed = true
 	}
 	return changed
@@ -415,7 +525,7 @@ func (e *Engine) keepFor(v ids.ID, nbrs []ids.ID) []ids.ID {
 // closeRingStep abstracts §4's discovery messages: an extremal node whose
 // line is in place establishes the wrap edge. snapshot is consulted for the
 // precondition; the edge is written into dst.
-func (e *Engine) closeRingStep(snapshot, dst *graph.Graph, v ids.ID) bool {
+func (e *Engine) closeRingStep(snapshot, dst *graph.Graph, v ids.ID, sink *opSink) bool {
 	if !e.cfg.CloseRing {
 		return false
 	}
@@ -429,31 +539,14 @@ func (e *Engine) closeRingStep(snapshot, dst *graph.Graph, v ids.ID) bool {
 	if !dst.AddEdge(min, max) {
 		return false
 	}
-	if e.cfg.Tracer != nil {
-		e.cfg.Tracer.Emit(trace.Event{
-			T: int64(e.curRound), Type: trace.EvRingClosed, Node: min, Peer: max,
-		})
-	}
+	sink.emit(trace.Event{
+		T: int64(e.curRound), Type: trace.EvRingClosed, Node: min, Peer: max,
+	})
 	return true
-}
-
-// traceEdge emits an edge-churn event when tracing is enabled.
-func (e *Engine) traceEdge(t trace.EventType, u, v ids.ID) {
-	if e.cfg.Tracer != nil {
-		e.cfg.Tracer.Emit(trace.Event{T: int64(e.curRound), Type: t, Node: u, Peer: v})
-	}
 }
 
 func (e *Engine) observeDegrees(g *graph.Graph) {
 	if d := g.MaxDegree(); d > e.stats.PeakDegree {
-		e.stats.PeakDegree = d
-	}
-}
-
-// observeNode updates the peak-degree statistic for one touched node —
-// O(1) instead of rescanning the whole graph on every activation.
-func (e *Engine) observeNode(v ids.ID) {
-	if d := e.g.Degree(v); d > e.stats.PeakDegree {
 		e.stats.PeakDegree = d
 	}
 }

@@ -1,0 +1,219 @@
+package sim
+
+// This file adds the sharded parallel round executor. RoundRunner (rounds.go)
+// activates every node on one goroutine; ShardedRunner partitions the node
+// universe into contiguous identifier-interval shards and drives each round
+// as up to three phases over a worker pool:
+//
+//	Prepare  — parallel, read-only against the round-start snapshot.
+//	           Jacobi-style protocols compute their proposals here; atomic
+//	           protocols classify nodes as shard-interior or boundary.
+//	Execute  — parallel, writes confined to the shard's identifier range.
+//	           Atomic protocols run their interior independent sets here.
+//	Finish   — sequential. Jacobi protocols apply the deterministic ordered
+//	           merge; atomic protocols run the boundary fallback in global
+//	           identifier order.
+//
+// The runner owns partitioning, the pool, the phase barriers and the round
+// loop; the protocol owns the semantics. The determinism contract is split
+// accordingly: the runner guarantees that each shard's hooks run on exactly
+// one goroutine and that Finish is exclusive, while the protocol must make
+// cross-shard Prepare/Execute work commute (for linearization this follows
+// from the identifier-interval footprint argument — see DESIGN.md §9). Under
+// that contract the outcome is a pure function of the shard partition and
+// is identical for every Workers value, including the sequential Workers=1
+// mode that the equivalence tests pin.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Shard is one contiguous slice of the dense node-index space [Lo, Hi).
+// Because protocols expose nodes in ascending identifier order, a shard is
+// also a contiguous identifier interval.
+type Shard struct {
+	Index  int
+	Lo, Hi int
+}
+
+// Len returns the number of nodes in the shard.
+func (s Shard) Len() int { return s.Hi - s.Lo }
+
+// DefaultShards returns the shard count used when ShardedRunner.Shards is
+// unset: enough shards to keep every plausible worker pool busy, few enough
+// that per-shard bookkeeping stays negligible, and — deliberately — a
+// function of the node count only, never of the machine, so a seed's result
+// is reproducible everywhere.
+func DefaultShards(n int) int {
+	s := n / 512
+	if s < 1 {
+		s = 1
+	}
+	if s > 256 {
+		s = 256
+	}
+	return s
+}
+
+// Partition splits n dense node indices into shardCount contiguous,
+// near-equal shards (deterministically; shard i covers [i*n/k, (i+1)*n/k)).
+func Partition(n, shardCount int) []Shard {
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	if shardCount > n && n > 0 {
+		shardCount = n
+	}
+	out := make([]Shard, 0, shardCount)
+	for i := 0; i < shardCount; i++ {
+		s := Shard{Index: i, Lo: i * n / shardCount, Hi: (i + 1) * n / shardCount}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ShardedRunner drives a round-model protocol over an identifier-interval
+// shard partition with a worker pool. Nil phase hooks are skipped. See the
+// file comment for the phase semantics and the determinism contract.
+type ShardedRunner struct {
+	// Workers is the pool width; <= 0 means the GOMAXPROCS default. The
+	// final state is independent of Workers; only wall-clock changes.
+	Workers int
+	// Shards is the partition size; <= 0 means DefaultShards(NodeCount()).
+	// Unlike Workers, the shard partition is part of the schedule and
+	// therefore of the (deterministic) result.
+	Shards    int
+	MaxRounds int // safety bound; <= 0 means 1<<20
+
+	NodeCount func() int
+	Done      func() bool
+	// BeginRound runs sequentially before the phases (snapshot hook).
+	BeginRound func(round int)
+	// Prepare runs once per shard per round, in parallel; it must only read
+	// protocol state. It returns the shard's activation count.
+	Prepare func(round int, s Shard) int
+	// Execute runs once per shard per round, in parallel; writes must stay
+	// within the shard's identifier interval. Returns activations.
+	Execute func(round int, s Shard) int
+	// Finish runs sequentially after the parallel phases (ordered merge /
+	// boundary fallback). Returns activations.
+	Finish func(round int) int
+	// EndRound runs sequentially after Finish (observability hook).
+	EndRound func(round int)
+}
+
+// ShardResult summarizes a sharded run.
+type ShardResult struct {
+	Rounds      int
+	Converged   bool
+	Activations int // total state-changing activations
+	// ParallelActivations counts the activations performed inside the
+	// parallel phases; Activations minus this is the sequential share
+	// (Jacobi merges and atomic boundary fallbacks).
+	ParallelActivations int
+	Workers, Shards     int
+}
+
+// effectiveWorkers resolves the pool width against the shard count.
+func (rr *ShardedRunner) effectiveWorkers(shards int) int {
+	w := rr.Workers
+	if w <= 0 {
+		w = NewEngine(0).Workers() // GOMAXPROCS default, one source of truth
+	}
+	if w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPhase applies fn to every shard, fanning out over the pool when it is
+// wider than one. counts[i] receives shard i's return value, so the
+// aggregate is deterministic regardless of scheduling.
+func runPhase(fn func(Shard) int, shards []Shard, workers int, counts []int) {
+	if fn == nil {
+		return
+	}
+	if workers <= 1 || len(shards) == 1 {
+		for _, s := range shards {
+			counts[s.Index] = fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(shards) {
+					return
+				}
+				counts[k] = fn(shards[k])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run drives the protocol until Done or MaxRounds.
+func (rr *ShardedRunner) Run() ShardResult {
+	maxRounds := rr.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+	var res ShardResult
+	if rr.Done() {
+		res.Converged = true
+		return res
+	}
+	counts := []int(nil)
+	for round := 0; round < maxRounds; round++ {
+		n := rr.NodeCount()
+		shardCount := rr.Shards
+		if shardCount <= 0 {
+			shardCount = DefaultShards(n)
+		}
+		shards := Partition(n, shardCount)
+		workers := rr.effectiveWorkers(len(shards))
+		res.Workers, res.Shards = workers, len(shards)
+		if cap(counts) < len(shards) {
+			counts = make([]int, len(shards))
+		}
+		counts = counts[:len(shards)]
+
+		if rr.BeginRound != nil {
+			rr.BeginRound(round)
+		}
+		for _, phase := range []func(int, Shard) int{rr.Prepare, rr.Execute} {
+			if phase == nil {
+				continue
+			}
+			for i := range counts {
+				counts[i] = 0
+			}
+			runPhase(func(s Shard) int { return phase(round, s) }, shards, workers, counts)
+			for _, c := range counts {
+				res.Activations += c
+				res.ParallelActivations += c
+			}
+		}
+		if rr.Finish != nil {
+			res.Activations += rr.Finish(round)
+		}
+		if rr.EndRound != nil {
+			rr.EndRound(round)
+		}
+		res.Rounds = round + 1
+		if rr.Done() {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

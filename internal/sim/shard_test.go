@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// recordingTracer is a minimal sink for option-wiring tests.
+type recordingTracer struct{ events []trace.Event }
+
+func (r *recordingTracer) Emit(e trace.Event) { r.events = append(r.events, e) }
+
+func TestPartitionCoversContiguously(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 4}, {1, 4}, {7, 3}, {100, 7}, {100, 1}, {5, 5}, {3, 8}, {1000, 256},
+	} {
+		shards := Partition(tc.n, tc.k)
+		at := 0
+		for i, s := range shards {
+			if s.Index != i {
+				t.Fatalf("n=%d k=%d: shard %d has Index %d", tc.n, tc.k, i, s.Index)
+			}
+			if s.Lo != at {
+				t.Fatalf("n=%d k=%d: shard %d starts at %d, want %d", tc.n, tc.k, i, s.Lo, at)
+			}
+			if s.Hi < s.Lo {
+				t.Fatalf("n=%d k=%d: shard %d inverted", tc.n, tc.k, i)
+			}
+			at = s.Hi
+		}
+		if at != tc.n {
+			t.Fatalf("n=%d k=%d: coverage ends at %d", tc.n, tc.k, at)
+		}
+		// Balance: sizes differ by at most one.
+		minSz, maxSz := tc.n+1, -1
+		for _, s := range shards {
+			if s.Len() < minSz {
+				minSz = s.Len()
+			}
+			if s.Len() > maxSz {
+				maxSz = s.Len()
+			}
+		}
+		if len(shards) > 0 && maxSz-minSz > 1 {
+			t.Fatalf("n=%d k=%d: unbalanced shards (%d..%d)", tc.n, tc.k, minSz, maxSz)
+		}
+	}
+}
+
+func TestDefaultShardsScales(t *testing.T) {
+	if DefaultShards(10) != 1 {
+		t.Fatalf("small n must collapse to one shard, got %d", DefaultShards(10))
+	}
+	if s := DefaultShards(10_000); s < 2 {
+		t.Fatalf("10k nodes should shard, got %d", s)
+	}
+	if s := DefaultShards(10_000_000); s != 256 {
+		t.Fatalf("shard count must cap at 256, got %d", s)
+	}
+}
+
+// TestShardedRunnerPhases checks phase ordering, activation accounting and
+// worker-count independence on a commuting toy protocol: every node
+// increments its own cell until all cells hit a target.
+func TestShardedRunnerPhases(t *testing.T) {
+	const n, target = 100, 3
+	for _, workers := range []int{1, 4} {
+		cells := make([]int, n)
+		var mu sync.Mutex
+		finishCalls := 0
+		rr := &ShardedRunner{
+			Workers:   workers,
+			Shards:    8,
+			NodeCount: func() int { return n },
+			Done: func() bool {
+				for _, c := range cells {
+					if c < target {
+						return false
+					}
+				}
+				return true
+			},
+			Execute: func(_ int, s Shard) int {
+				changed := 0
+				for i := s.Lo; i < s.Hi; i++ {
+					if cells[i] < target {
+						cells[i]++
+						changed++
+					}
+				}
+				return changed
+			},
+			Finish: func(int) int {
+				mu.Lock()
+				finishCalls++
+				mu.Unlock()
+				return 0
+			},
+		}
+		res := rr.Run()
+		if !res.Converged {
+			t.Fatalf("workers=%d: did not converge", workers)
+		}
+		if res.Rounds != target {
+			t.Fatalf("workers=%d: rounds=%d want %d", workers, res.Rounds, target)
+		}
+		if res.Activations != n*target {
+			t.Fatalf("workers=%d: activations=%d want %d", workers, res.Activations, n*target)
+		}
+		if res.ParallelActivations != res.Activations {
+			t.Fatalf("workers=%d: all work was parallel, got %d/%d",
+				workers, res.ParallelActivations, res.Activations)
+		}
+		if finishCalls != target {
+			t.Fatalf("workers=%d: Finish ran %d times, want %d", workers, finishCalls, target)
+		}
+		if res.Shards != 8 {
+			t.Fatalf("workers=%d: shards=%d want 8", workers, res.Shards)
+		}
+	}
+}
+
+func TestShardedRunnerDoneBeforeStart(t *testing.T) {
+	rr := &ShardedRunner{
+		NodeCount: func() int { return 10 },
+		Done:      func() bool { return true },
+		Execute:   func(int, Shard) int { t.Fatal("must not execute"); return 0 },
+	}
+	res := rr.Run()
+	if !res.Converged || res.Rounds != 0 {
+		t.Fatalf("pre-converged run: %+v", res)
+	}
+}
+
+func TestShardedRunnerMaxRounds(t *testing.T) {
+	rounds := 0
+	rr := &ShardedRunner{
+		MaxRounds: 5,
+		NodeCount: func() int { return 4 },
+		Done:      func() bool { return false },
+		Finish:    func(int) int { rounds++; return 1 },
+	}
+	res := rr.Run()
+	if res.Converged || res.Rounds != 5 || rounds != 5 {
+		t.Fatalf("bound ignored: %+v (finish ran %d)", res, rounds)
+	}
+	if res.Activations != 5 || res.ParallelActivations != 0 {
+		t.Fatalf("sequential accounting wrong: %+v", res)
+	}
+}
+
+func TestEngineOptions(t *testing.T) {
+	e := NewEngine(1)
+	if e.Workers() < 1 {
+		t.Fatal("default Workers must be >= 1")
+	}
+	e = NewEngine(1, WithWorkers(7))
+	if e.Workers() != 7 {
+		t.Fatalf("WithWorkers: got %d", e.Workers())
+	}
+	rec := recordingTracer{}
+	e = NewEngine(1, WithTracer(&rec), WithWorkers(2))
+	if e.Tracer() != &rec {
+		t.Fatal("WithTracer did not install the tracer")
+	}
+	// Deprecated shim still works.
+	e.SetTracer(nil)
+	if e.Tracer() != nil {
+		t.Fatal("SetTracer(nil) must clear the tracer")
+	}
+}

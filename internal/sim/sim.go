@@ -20,6 +20,7 @@ package sim
 import (
 	"container/heap"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/trace"
 )
@@ -79,17 +80,42 @@ func (q *eventQueue) Pop() any {
 // concurrent use; node goroutine experiments wrap it behind a channel (see
 // package phys).
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	seq    int64
-	rng    *rand.Rand
-	events int64 // total events executed
-	tracer trace.Tracer
+	now     Time
+	queue   eventQueue
+	seq     int64
+	rng     *rand.Rand
+	events  int64 // total events executed
+	tracer  trace.Tracer
+	workers int
 }
 
-// NewEngine returns an engine whose randomness is derived from seed.
-func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+// Option configures an Engine at construction time. The functional-option
+// form is the supported way to wire cross-cutting concerns (tracing,
+// parallelism defaults) — post-hoc mutators are deprecated shims.
+type Option func(*Engine)
+
+// WithTracer installs the engine's tracer. Firings emit EvSimFire with the
+// remaining queue depth as a gauge value; cancellations emit EvSimCancel.
+// Without this option the engine keeps the zero-cost nil-tracer fast path.
+func WithTracer(t trace.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
+}
+
+// WithWorkers sets the default worker-pool width for sharded round
+// executors derived from this simulation (see ShardedRunner). k <= 0
+// restores the default, GOMAXPROCS.
+func WithWorkers(k int) Option {
+	return func(e *Engine) { e.workers = k }
+}
+
+// NewEngine returns an engine whose randomness is derived from seed,
+// configured by the given options.
+func NewEngine(seed int64, opts ...Option) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Now returns the current simulated time.
@@ -101,11 +127,21 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // EventsExecuted returns how many events have fired so far.
 func (e *Engine) EventsExecuted() int64 { return e.events }
 
-// SetTracer installs (or with nil removes) the engine's tracer. Firings
-// emit EvSimFire with the remaining queue depth as a gauge value;
-// cancellations emit EvSimCancel. A nil tracer restores the zero-cost
-// fast path.
+// SetTracer installs (or with nil removes) the engine's tracer.
+//
+// Deprecated: pass WithTracer to NewEngine instead. This shim survives one
+// release for callers that attach tracers after construction.
 func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
+
+// Workers returns the configured worker-pool width for sharded executors
+// attached to this simulation: the WithWorkers value, or GOMAXPROCS when
+// unset.
+func (e *Engine) Workers() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Tracer returns the engine's tracer (nil when tracing is disabled).
 func (e *Engine) Tracer() trace.Tracer { return e.tracer }

@@ -54,6 +54,8 @@ func NewServer() *Server {
 	reg.Describe("ssr_rounds", "synchronous rounds completed")
 	reg.Describe("ssr_round_edge_churn", "virtual-edge adds+delegations per round")
 	reg.Describe("ssr_probe", "latest convergence-probe reading, by metric")
+	reg.Describe("ssr_gauge", "latest generic gauge reading, by metric")
+	reg.Describe("ssr_shard_activations", "sharded-executor activations, by shard and phase")
 	return &Server{
 		reg:     reg,
 		stats:   trace.NewStatsSink(),
@@ -101,6 +103,10 @@ func (c collector) Emit(e trace.Event) {
 	case trace.EvProbe:
 		s.reg.Gauge("ssr_probe", "metric", e.Kind).Set(e.Value)
 		s.foldProbe(e)
+	case trace.EvGauge:
+		s.reg.Gauge("ssr_gauge", "metric", e.Kind).Set(e.Value)
+	case trace.EvShardRound:
+		s.reg.Counter("ssr_shard_activations", "shard", e.Kind, "phase", e.Aux).Add(e.Value)
 	}
 }
 

@@ -174,3 +174,25 @@ func TestCollectorConcurrentWithScrapes(t *testing.T) {
 		t.Errorf("last probe = %+v ok=%v", sample, ok)
 	}
 }
+
+func TestCollectorFoldsShardAndGaugeEvents(t *testing.T) {
+	s := telemetry.NewServer()
+	tr := s.Tracer()
+	tr.Emit(trace.Event{T: 0, Type: trace.EvShardRound, Kind: "0", Aux: "interior", Value: 12})
+	tr.Emit(trace.Event{T: 1, Type: trace.EvShardRound, Kind: "0", Aux: "interior", Value: 3})
+	tr.Emit(trace.Event{T: 1, Type: trace.EvShardRound, Kind: "1", Aux: "boundary", Value: 2})
+	tr.Emit(trace.Event{T: 1, Type: trace.EvGauge, Kind: "parallel/interior-activations", Value: 15})
+	tr.Emit(trace.Event{T: 2, Type: trace.EvGauge, Kind: "parallel/interior-activations", Value: 4})
+
+	reg := s.Registry()
+	if v := reg.Counter("ssr_shard_activations", "shard", "0", "phase", "interior").Value(); v != 15 {
+		t.Errorf("shard 0 interior activations = %v, want 15", v)
+	}
+	if v := reg.Counter("ssr_shard_activations", "shard", "1", "phase", "boundary").Value(); v != 2 {
+		t.Errorf("shard 1 boundary activations = %v, want 2", v)
+	}
+	// Gauges keep the latest reading, not a sum.
+	if v := reg.Gauge("ssr_gauge", "metric", "parallel/interior-activations").Value(); v != 4 {
+		t.Errorf("gauge = %v, want latest value 4", v)
+	}
+}

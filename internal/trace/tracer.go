@@ -52,6 +52,11 @@ const (
 	// EvProbe is a convergence-probe sample; Kind names the metric
 	// ("distance", "connected", "multi-left", …), Value carries it.
 	EvProbe
+	// EvShardRound is one shard's per-round accounting from the sharded
+	// parallel executor (Kind: shard index in decimal; Aux: the phase —
+	// "propose", "interior" or "boundary"; Value: state-changing
+	// activations).
+	EvShardRound
 )
 
 var eventNames = [...]string{
@@ -69,6 +74,7 @@ var eventNames = [...]string{
 	EvCounter:      "counter",
 	EvGauge:        "gauge",
 	EvProbe:        "probe",
+	EvShardRound:   "shard-round",
 }
 
 // String names the event type (the `ev` field of the JSONL encoding).

@@ -31,6 +31,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Message kinds for counter accounting.
@@ -814,6 +815,7 @@ type Cluster struct {
 	cfg   Config
 
 	minID, maxID ids.ID
+	probeStopped bool
 }
 
 // NewCluster creates one VRR node per topology node and starts them.
@@ -893,11 +895,34 @@ func (c *Cluster) RunUntilConsistent(deadline sim.Time) (sim.Time, bool) {
 	}
 }
 
-// Stop halts all nodes.
+// Stop halts all nodes and any attached probes.
 func (c *Cluster) Stop() {
+	c.probeStopped = true
 	for _, n := range c.Nodes {
 		n.Stop()
 	}
+}
+
+// AttachProbe samples the cluster's virtual graph into the convergence
+// probe every `every` ticks, starting one interval from now, until Stop —
+// the same observation contract as ssr.Cluster.AttachProbe, so VRR
+// bootstraps produce comparable trace series.
+func (c *Cluster) AttachProbe(p *trace.Probe, every sim.Time) {
+	if p == nil || every <= 0 {
+		return
+	}
+	round := 0
+	eng := c.Net.Engine()
+	var tick func()
+	tick = func() {
+		if c.probeStopped {
+			return
+		}
+		p.Observe(round, c.VirtualGraph())
+		round++
+		eng.After(every, tick)
+	}
+	eng.After(every, tick)
 }
 
 // StateSummary returns the per-node path-table sizes — the router-state
