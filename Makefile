@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race smoke bench-trace bench-analyze bench-scale bench-scale-quick clean
+.PHONY: check build vet test race smoke bench-trace bench-analyze bench-scale bench-scale-quick bench-chaos bench-chaos-quick fuzz-smoke clean
 
 # The full gate: what CI (and the tier-1 driver) should run.
 check: vet build race
@@ -40,6 +40,27 @@ bench-scale:
 # CI smoke variant: small size, tight round caps, throwaway output.
 bench-scale-quick:
 	$(GO) run ./cmd/ssrsim -mode scale -quick -sizes 4000 -workers 2 -out /tmp/BENCH_scale_quick.json
+
+# Chaos suite: replay the committed fault scenarios (loss bursts,
+# partition+heal, churn, jitter, corruption) over every registered
+# bootstrap protocol with the online invariant checker attached. Exits
+# non-zero on any invariant violation or missed reconvergence. Writes
+# results/BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/ssrsim -mode chaos -n 24 -seed 1 -out results/BENCH_chaos.json
+
+# CI smoke variant: smaller network, one scenario per fault family.
+bench-chaos-quick:
+	$(GO) run ./cmd/ssrsim -mode chaos -quick -n 16 -seed 1 -out /tmp/BENCH_chaos_quick.json
+
+# Short native-fuzz pass over the frame-decoding and linearize-step
+# targets (one -fuzz run per target; Go allows a single fuzz target per
+# invocation). The committed corpora under testdata/fuzz replay in plain
+# `go test` as well.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzFramePayloadDecoding -fuzztime=10s ./internal/ssr/
+	$(GO) test -run=^$$ -fuzz=FuzzRouteOps -fuzztime=10s ./internal/sroute/
+	$(GO) test -run=^$$ -fuzz=FuzzLinearizeStep -fuzztime=10s ./internal/linearize/
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,15 @@
 //	ssrsim -mode dht -n 24                    # E14: DHT workload over SSR
 //	ssrsim -mode boot -proto isprp -n 256     # E6c: one traced bootstrap run
 //	ssrsim -mode scale -sizes 10000,100000    # E15: sharded executor scale bench
+//	ssrsim -mode chaos -n 24                  # E16: chaos suite over all protocols
+//
+// -mode chaos compiles the committed fault-scenario suite (loss bursts,
+// partition+heal, crash/recover churn, jitter reordering, frame
+// corruption) once per seed and replays the byte-identical schedules over
+// every registered bootstrap protocol with the online invariant checker
+// attached, writing the machine-readable record to -out (default
+// results/BENCH_chaos.json). -quick keeps one scenario per fault family
+// for CI smoke runs.
 //
 // -mode scale times the sharded parallel round executor (-workers, -shards)
 // against its own Workers=1 schedule on large regular graphs, checks the
@@ -38,7 +47,7 @@ import (
 
 func main() {
 	cli := exp.BindCLI(flag.CommandLine, exp.CLIOptions{
-		Modes:        "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot | scale",
+		Modes:        "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot | scale | chaos",
 		DefaultMode:  "compare",
 		DefaultSizes: "16,24,32",
 	})
@@ -46,8 +55,8 @@ func main() {
 	kill := flag.Int("kill", 3, "nodes to fail for -mode churn")
 	proto := flag.String("proto", "linearization", "protocol for -mode boot: "+strings.Join(exp.ProtocolNames(), " | "))
 	probeEvery := flag.Int("probe-every", 16, "convergence-probe sampling interval in ticks for -mode boot")
-	out := flag.String("out", "results/BENCH_scale.json", "JSON output path for -mode scale")
-	quick := flag.Bool("quick", false, "shrink -mode scale round caps for a fast smoke run")
+	out := flag.String("out", "", "JSON output path for -mode scale / chaos (default results/BENCH_<mode>.json)")
+	quick := flag.Bool("quick", false, "shrink -mode scale/chaos to a fast smoke run")
 	flag.Parse()
 
 	closeTrace, err := cli.Setup()
@@ -114,14 +123,40 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ssrsim:", err)
 			os.Exit(2)
 		}
+		outPath := *out
+		if outPath == "" {
+			outPath = "results/BENCH_scale.json"
+		}
 		rep, res := exp.ScaleBench(sizes, scaleTopo, *cli.Workers, *cli.Shards, *cli.Seed, *quick)
-		if err := exp.WriteScaleJSON(*out, res); err != nil {
+		if err := exp.WriteScaleJSON(outPath, res); err != nil {
 			closeTrace()
 			fmt.Fprintln(os.Stderr, "ssrsim:", err)
 			os.Exit(2)
 		}
 		emit(rep)
-		fmt.Fprintf(os.Stderr, "ssrsim: wrote %s\n", *out)
+		fmt.Fprintf(os.Stderr, "ssrsim: wrote %s\n", outPath)
+	case "chaos":
+		outPath := *out
+		if outPath == "" {
+			outPath = "results/BENCH_chaos.json"
+		}
+		rep, res, err := exp.ChaosBench(*cli.N, t, *cli.Seed, *quick)
+		if err != nil {
+			closeTrace()
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		if err := exp.WriteChaosJSON(outPath, res); err != nil {
+			closeTrace()
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		emit(rep)
+		fmt.Fprintf(os.Stderr, "ssrsim: wrote %s\n", outPath)
+		if !res.Criteria.Met {
+			fmt.Fprintln(os.Stderr, "ssrsim: chaos criteria NOT met")
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "ssrsim: unknown mode %q\n", *cli.Mode)
 		os.Exit(2)

@@ -145,6 +145,19 @@ func cmdReport(args []string) error {
 		fmt.Print(tab)
 	}
 
+	if invs := a.Invariants(); len(invs) > 0 {
+		fmt.Println("\n-- invariants (chaos harness) --")
+		tab := metrics.NewTable("invariant", "checks", "violations", "first violation")
+		for _, iv := range invs {
+			first := "-"
+			if iv.Violations > 0 {
+				first = fmt.Sprintf("t=%d %s", iv.First.T, iv.First.Detail)
+			}
+			tab.AddRow(iv.Invariant, iv.Checks, iv.Violations, first)
+		}
+		fmt.Print(tab)
+	}
+
 	if hot := a.Stats.HotSpotTable(*top); hot.NumRows() > 0 {
 		fmt.Printf("\n-- hot spots (top %d senders) --\n", *top)
 		fmt.Print(hot)

@@ -68,7 +68,13 @@ func (b *Beaconer) Start() {
 func (b *Beaconer) Stop() { b.stopped = true }
 
 func (b *Beaconer) tick() {
-	if b.stopped || !b.net.Up(b.self) {
+	if b.stopped {
+		return
+	}
+	if !b.net.Up(b.self) {
+		// A down radio sends no beacons but the chain stays scheduled, so a
+		// recovered node resumes hello traffic (crash/recover churn).
+		b.net.Engine().After(b.interval, b.tick)
 		return
 	}
 	b.seq++

@@ -66,7 +66,10 @@ func (c *Courier) Handle(m Message) bool {
 		return false
 	}
 	pkt.Hop++
-	if pkt.Hop >= len(pkt.Route) || pkt.Route[pkt.Hop] != c.self {
+	// A well-formed packet arrives with Hop >= 0 (senders start at 0), so
+	// anything below 1 after the increment is forged or corrupted — guard
+	// before indexing, a negative index would panic.
+	if pkt.Hop < 1 || pkt.Hop >= len(pkt.Route) || pkt.Route[pkt.Hop] != c.self {
 		// Route corrupted or we moved; drop.
 		if c.OnUndeliverable != nil {
 			c.OnUndeliverable(pkt)

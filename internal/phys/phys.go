@@ -60,9 +60,10 @@ type Network struct {
 	handlers map[ids.ID]Handler
 	down     ids.Set
 
-	latency  LatencyModel
-	lossProb float64
-	jitter   sim.Time // uniform extra delay in [0, jitter]
+	latency     LatencyModel
+	lossProb    float64
+	jitter      sim.Time // uniform extra delay in [0, jitter]
+	corruptProb float64  // probability a delivered frame arrives garbled
 
 	counters *Counters
 	tracer   trace.Tracer
@@ -79,6 +80,29 @@ func WithJitter(j sim.Time) Option { return func(n *Network) { n.jitter = j } }
 
 // WithLoss drops each frame independently with probability p.
 func WithLoss(p float64) Option { return func(n *Network) { n.lossProb = p } }
+
+// WithCorruption garbles each delivered frame independently with
+// probability p (see SetCorruption).
+func WithCorruption(p float64) Option { return func(n *Network) { n.corruptProb = p } }
+
+// SetLoss changes the frame-loss probability mid-run — the hook the chaos
+// harness uses for scheduled loss bursts.
+func (n *Network) SetLoss(p float64) { n.lossProb = p }
+
+// SetJitter changes the per-frame delivery jitter mid-run. Frames already
+// in flight keep the delay they were assigned at send time.
+func (n *Network) SetJitter(j sim.Time) { n.jitter = j }
+
+// SetCorruption changes the frame-corruption probability mid-run. A
+// corrupted frame is still delivered — its payload is replaced by Garbled —
+// so the receivers' decode paths face malformed input, which they must
+// ignore without panicking or leaking state.
+func (n *Network) SetCorruption(p float64) { n.corruptProb = p }
+
+// Garbled is the payload of a corrupted frame: the bits arrived, the
+// content is destroyed. Every protocol's payload type switch fails on it
+// and must drop the frame gracefully.
+type Garbled struct{}
 
 // WithTracer installs a tracer receiving per-frame EvMsgSend / EvMsgRecv /
 // EvMsgDrop events. A nil tracer (the default) keeps the send path on the
@@ -166,13 +190,13 @@ func (n *Network) Up(v ids.ID) bool {
 // air (not whether it will arrive).
 func (n *Network) Send(m Message) bool {
 	if !n.Up(m.From) || !n.topo.HasEdge(m.From, m.To) {
-		n.counters.Inc("drop:no-link", 0)
+		n.counters.Inc("drop:no-link", 1)
 		n.traceDrop(m, "no-link")
 		return false
 	}
 	n.counters.Inc(m.Kind, 1)
 	if n.lossProb > 0 && n.engine.Rand().Float64() < n.lossProb {
-		n.counters.Inc("drop:loss", 0)
+		n.counters.Inc("drop:loss", 1)
 		n.traceDrop(m, "loss")
 		return true // transmitted, never arrives
 	}
@@ -188,10 +212,26 @@ func (n *Network) Send(m Message) bool {
 	}
 	m.Hops++
 	n.engine.After(d, func() {
-		if !n.Up(m.To) || !n.topo.HasEdge(m.From, m.To) {
-			n.counters.Inc("drop:dest-down", 0)
+		// In-flight losses are attributed precisely: a dead receiver is
+		// "dest-down", a link that churned away mid-flight is "link-gone".
+		// Chaos runs rely on the distinction to tell crash faults from
+		// partition faults in the drop economy.
+		if !n.Up(m.To) {
+			n.counters.Inc("drop:dest-down", 1)
 			n.traceDrop(m, "dest-down")
 			return
+		}
+		if !n.topo.HasEdge(m.From, m.To) {
+			n.counters.Inc("drop:link-gone", 1)
+			n.traceDrop(m, "link-gone")
+			return
+		}
+		if n.corruptProb > 0 && n.engine.Rand().Float64() < n.corruptProb {
+			// The frame arrives, its content does not: deliver Garbled so
+			// the receiver's decode path sees malformed input.
+			n.counters.Inc("drop:corrupt", 1)
+			n.traceDrop(m, "corrupt")
+			m.Payload = Garbled{}
 		}
 		if n.tracer != nil {
 			n.tracer.Emit(trace.Event{

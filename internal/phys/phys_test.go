@@ -65,9 +65,8 @@ func TestSendFromDownNode(t *testing.T) {
 	}
 	net.FailNode(2) // fails after transmission: in-flight frame dropped
 	e.Run(0)
-	if net.Counters().Get("drop:dest-down") != 0 {
-		// drop:dest-down is registered via Inc(kind, 0); presence is enough
-		t.Log("dest-down drop recorded")
+	if net.Counters().Get("drop:dest-down") != 1 {
+		t.Errorf("dest-down drops = %d, want 1", net.Counters().Get("drop:dest-down"))
 	}
 }
 
@@ -100,6 +99,61 @@ func TestInFlightDropWhenLinkRemoved(t *testing.T) {
 	e.Run(0)
 	if !delivered {
 		t.Error("restored link should deliver")
+	}
+	// Attribution: a vanished link is "link-gone", not "dest-down".
+	if net.Counters().Get("drop:link-gone") != 1 {
+		t.Errorf("link-gone drops = %d, want 1", net.Counters().Get("drop:link-gone"))
+	}
+	if net.Counters().Get("drop:dest-down") != 0 {
+		t.Errorf("dest-down drops = %d, want 0", net.Counters().Get("drop:dest-down"))
+	}
+}
+
+func TestCorruptionDeliversGarbled(t *testing.T) {
+	e, net := lineNet(t, 2, WithCorruption(1.0))
+	var got []Message
+	net.Register(1, HandlerFunc(func(Message) {}))
+	net.Register(2, HandlerFunc(func(m Message) { got = append(got, m) }))
+	net.Send(Message{From: 1, To: 2, Kind: "t:x", Payload: "precious"})
+	e.Run(0)
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d, want 1 (corruption must not suppress delivery)", len(got))
+	}
+	if _, ok := got[0].Payload.(Garbled); !ok {
+		t.Errorf("payload = %#v, want Garbled", got[0].Payload)
+	}
+	if net.Counters().Get("drop:corrupt") != 1 {
+		t.Errorf("corrupt count = %d, want 1", net.Counters().Get("drop:corrupt"))
+	}
+}
+
+func TestRuntimeFaultSetters(t *testing.T) {
+	e, net := lineNet(t, 2)
+	delivered := 0
+	net.Register(1, HandlerFunc(func(Message) {}))
+	net.Register(2, HandlerFunc(func(Message) { delivered++ }))
+	net.SetLoss(1.0)
+	net.Send(Message{From: 1, To: 2, Kind: "t:x"})
+	e.Run(0)
+	if delivered != 0 {
+		t.Fatal("SetLoss(1.0) must drop the frame")
+	}
+	net.SetLoss(0)
+	net.SetCorruption(1.0)
+	net.Send(Message{From: 1, To: 2, Kind: "t:x"})
+	e.Run(0)
+	if delivered != 1 {
+		t.Fatal("after SetLoss(0) the frame must arrive")
+	}
+	net.SetCorruption(0)
+	net.SetJitter(4)
+	start := e.Now()
+	var arrival sim.Time
+	net.Register(2, HandlerFunc(func(Message) { arrival = e.Now() }))
+	net.Send(Message{From: 1, To: 2, Kind: "t:x"})
+	e.Run(0)
+	if d := arrival - start; d < 1 || d > 5 {
+		t.Errorf("jittered delivery after %d ticks, want within [1,5]", d)
 	}
 }
 

@@ -139,6 +139,43 @@ func (c *Cluster) AttachProbe(p *trace.Probe, every sim.Time) {
 	eng.After(every, tick)
 }
 
+// PendingOps returns the total number of in-flight introduction operations
+// across the cluster — the chaos harness's pending-state-leak probe. Each
+// entry self-expires within 8 ticks of its creation, so the total is
+// bounded by the introduction rate; unbounded growth is a leak.
+func (c *Cluster) PendingOps() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += len(n.pending)
+	}
+	return total
+}
+
+// AuditRoutes scans every cached route in the cluster and counts those
+// containing a repeated node — the source-route loop-freedom probe of the
+// chaos harness. The sroute constructors reject cycles, so looped must
+// always be zero; a nonzero count means corrupted cache state.
+func (c *Cluster) AuditRoutes() (total, looped int) {
+	for _, n := range c.Nodes {
+		for _, dst := range n.Cache().Destinations() {
+			r := n.Cache().Route(dst)
+			if r == nil {
+				continue
+			}
+			total++
+			seen := ids.NewSet()
+			for _, hop := range r {
+				if seen.Has(hop) {
+					looped++
+					break
+				}
+				seen.Add(hop)
+			}
+		}
+	}
+	return total, looped
+}
+
 // RouteResult describes one data-routing attempt (experiment E7).
 type RouteResult struct {
 	Src, Dst  ids.ID

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/phys"
+	"repro/internal/sim"
 	"repro/internal/sroute"
 )
 
@@ -117,6 +118,120 @@ func TestPendingPairExpires(t *testing.T) {
 	if _, still := n.pending[key]; still {
 		t.Error("pending pair did not expire")
 	}
+}
+
+// unstartedTriple builds a 1–2–3 line whose nodes are registered but never
+// started: no periodic ticks interfere, yet the handlers run, so the
+// introduction machinery can be driven by hand with exact timing.
+func unstartedTriple(t *testing.T) (*phys.Network, *Node, *Node, *Node) {
+	t.Helper()
+	topo := graph.Line([]ids.ID{1, 2, 3})
+	net := newNet(t, topo, 7)
+	n1 := NewNode(net, 1, Config{})
+	n2 := NewNode(net, 2, Config{})
+	n3 := NewNode(net, 3, Config{})
+	n2.rc.Insert(route(t, 2, 1))
+	n2.rc.Insert(route(t, 2, 3))
+	return net, n1, n2, n3
+}
+
+func TestStaleExpiryTimerKeepsNewerPending(t *testing.T) {
+	// Regression: introduce() used to delete n.pending[key] unconditionally
+	// when the 8-tick expiry fired, so a timer left over from a completed
+	// op could kill a *newer* pendingOp for the same pair. The op is now
+	// generation-stamped and only a matching generation expires it.
+	net, _, n2, _ := unstartedTriple(t)
+	key := pairKey{Low: 1, High: 3}
+	eng := net.Engine()
+	n2.introduce(1, 3, false) // t=0; expiry timer fires at t=128
+	// Sync point: RunUntil leaves Now at the last fired event, so schedule
+	// a no-op at t=32 to pin the second introduction's start time.
+	eng.After(32, func() {})
+	eng.RunUntil(32, nil)
+	if _, still := n2.pending[key]; still {
+		t.Fatal("first introduction should have completed via acks")
+	}
+	// Re-introduce before the first op's timer fires; cut the links first
+	// so no acks can complete the second op, keeping it pending.
+	net.RemoveLink(2, 1)
+	net.RemoveLink(2, 3)
+	delete(n2.introduced, key) // bypass the re-introduction rate limit
+	n2.introduce(1, 3, false)  // t=32; its own expiry fires at t=160
+	if _, ok := n2.pending[key]; !ok {
+		t.Fatal("second introduction should be pending")
+	}
+	eng.RunUntil(140, nil) // past the first timer, before the second
+	if _, ok := n2.pending[key]; !ok {
+		t.Fatal("stale expiry timer killed the newer pending op")
+	}
+	eng.RunUntil(320, nil) // the newer op's own timer still works
+	if _, ok := n2.pending[key]; ok {
+		t.Fatal("newer pending op never expired")
+	}
+}
+
+func TestAckBeforeCounterpartNotifyNoLeak(t *testing.T) {
+	// Under WithJitter one Notify can draw a much larger delay than the
+	// other, so the introducer sees an Ack from one endpoint while the
+	// other endpoint's Notify is still in flight. Reproduced exactly: the
+	// link to node 3 is cut, so only node 1's Ack ever arrives. The op must
+	// stay half-acked without completing, then expire without leaking.
+	net, _, n2, _ := unstartedTriple(t)
+	key := pairKey{Low: 1, High: 3}
+	net.RemoveLink(2, 3)
+	n2.introduce(1, 3, false)
+	net.Engine().RunUntil(32, nil)
+	op, ok := n2.pending[key]
+	if !ok {
+		t.Fatal("half-acked op must stay pending")
+	}
+	if !op.ackLow || op.ackHigh {
+		t.Fatalf("ack state = low %v high %v, want low-only", op.ackLow, op.ackHigh)
+	}
+	net.Engine().RunUntil(300, nil) // past the 8-tick expiry window
+	if len(n2.pending) != 0 {
+		t.Error("half-acked op leaked past its expiry")
+	}
+}
+
+func TestDuplicateTeardownTolerated(t *testing.T) {
+	// A retransmitted or jitter-duplicated Teardown must be idempotent:
+	// route removed, peer tombstoned, no pending state and no panic.
+	net, a, _ := twoNodeSetup(t)
+	for i := 0; i < 2; i++ {
+		net.Send(phys.Message{From: 2, To: 1, Kind: KindTeardown,
+			Payload: phys.SRPacket{Route: route(t, 2, 1), Hop: 0, Kind: KindTeardown}})
+		net.Engine().RunUntil(net.Engine().Now()+4, nil)
+	}
+	if a.Cache().Route(2) != nil {
+		t.Error("teardown must remove the route")
+	}
+	if !a.tombstoned(2) {
+		t.Error("teardown must tombstone the peer")
+	}
+	if len(a.pending) != 0 {
+		t.Error("duplicate teardown leaked pending state")
+	}
+}
+
+func TestJitterReorderingConvergesWithoutPendingLeak(t *testing.T) {
+	// End-to-end: with per-frame jitter larger than the hop latency, acks
+	// routinely overtake notifies and teardowns duplicate across paths.
+	// The cluster must still reach global consistency and the pending
+	// table must stay bounded.
+	topo := graph.Line([]ids.ID{10, 20, 30, 40, 50, 60})
+	net := phys.NewNetwork(sim.NewEngine(9), topo, phys.WithJitter(8))
+	c := NewCluster(net, Config{CacheMode: cache.Unbounded})
+	if at, ok := c.RunUntilConsistent(120000); !ok {
+		t.Fatalf("did not converge under jitter by t=%d: %s", at, c.LineReport())
+	}
+	if p := c.PendingOps(); p > 3*len(c.Nodes) {
+		t.Errorf("pending ops %d exceed bound %d", p, 3*len(c.Nodes))
+	}
+	if _, looped := c.AuditRoutes(); looped != 0 {
+		t.Errorf("jitter reordering created %d looped routes", looped)
+	}
+	c.Stop()
 }
 
 func TestTombstoneBlocksRelearnThenExpires(t *testing.T) {

@@ -146,6 +146,12 @@ type pendingOp struct {
 	ackLow, ackHigh bool
 	farther         ids.ID // the neighbor whose edge v1 tears down
 	tear            bool   // whether this op removes the farther edge
+	// gen distinguishes successive pendingOps for the same pair: the expiry
+	// timer of an earlier op must not delete a newer op installed after the
+	// earlier one completed (acks consumed it) and the pair was
+	// re-introduced. Without the stamp a leftover timer silently kills the
+	// newer op, losing its acks and its teardown.
+	gen uint64
 }
 
 // Node is one SSR participant.
@@ -157,6 +163,7 @@ type Node struct {
 
 	rc         *cache.Cache
 	pending    map[pairKey]*pendingOp
+	pendingGen uint64 // generation stamp for pendingOp expiry timers
 	introduced map[pairKey]sim.Time
 	// revNbrs tracks reverse neighbors: nodes known to cache a route to us
 	// (we hear their notifications), with the reverse route and the last
@@ -253,7 +260,14 @@ func (n *Node) Start(jitter sim.Time) {
 func (n *Node) Stop() { n.stopped = true }
 
 func (n *Node) tick() {
-	if n.stopped || !n.net.Up(n.id) {
+	if n.stopped {
+		return
+	}
+	if !n.net.Up(n.id) {
+		// Stay scheduled while down: a crashed node does no protocol work,
+		// but keeping the chain alive means RecoverNode resumes maintenance
+		// without anyone having to restart the node (crash/recover churn).
+		n.net.Engine().After(n.cfg.TickInterval, n.tick)
 		return
 	}
 	n.ticks++
@@ -407,12 +421,19 @@ func (n *Node) introduce(a, b ids.ID, tear bool) {
 		return
 	}
 	n.introduced[key] = now
-	n.pending[key] = &pendingOp{farther: b, tear: tear}
+	n.pendingGen++
+	gen := n.pendingGen
+	n.pending[key] = &pendingOp{farther: b, tear: tear, gen: gen}
 	n.courier.Send(ra, KindNotify, notifyPayload{OtherRoute: rb.Clone(), Pair: key})
 	n.courier.Send(rb, KindNotify, notifyPayload{OtherRoute: ra.Clone(), Pair: key})
 	// Expire the pending pair if acks never arrive (lost frames, churn), so
-	// the pair can be retried.
-	n.net.Engine().After(8*n.cfg.TickInterval, func() { delete(n.pending, key) })
+	// the pair can be retried. The generation check keeps a stale timer from
+	// deleting a newer op for the same pair.
+	n.net.Engine().After(8*n.cfg.TickInterval, func() {
+		if op, ok := n.pending[key]; ok && op.gen == gen {
+			delete(n.pending, key)
+		}
+	})
 }
 
 // maybeDiscover sends ring-closure discovery from the extremal sides: a
@@ -608,6 +629,14 @@ func (n *Node) tombstone(x ids.ID, ticks sim.Time) {
 }
 
 func (n *Node) learn(r sroute.Route) {
+	// Received and overheard routes are untrusted input: a forged or
+	// corrupted frame can carry a route that revisits a node, and caching
+	// it would break source-route loop-freedom. Elide before inserting
+	// (the elided route covers the same physical links, §1); the scan
+	// keeps the common simple-route path allocation-free.
+	if !routeSimple(r) {
+		r = r.ElideLoops()
+	}
 	if len(r) >= 2 && r.Src() == n.id && r.Dst() != n.id && !n.tombstoned(r.Dst()) {
 		if n.rc.Insert(r) {
 			if _, ok := n.lastHeard[r.Dst()]; !ok {
@@ -616,6 +645,19 @@ func (n *Node) learn(r sroute.Route) {
 			n.traceEvent(trace.EvEdgeAdd, r.Dst(), "")
 		}
 	}
+}
+
+// routeSimple reports whether no node repeats on r. Routes are short, so
+// the quadratic scan beats building a set.
+func routeSimple(r sroute.Route) bool {
+	for i := 1; i < len(r); i++ {
+		for j := 0; j < i; j++ {
+			if r[i] == r[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // traceEvent emits a protocol-level event through the network's tracer:
@@ -634,7 +676,9 @@ func (n *Node) handleNotify(pkt phys.SRPacket) {
 		return
 	}
 	back := pkt.Route.Reverse() // us → notifier
-	if np.OtherRoute == nil || back.Dst() != np.OtherRoute.Src() {
+	// A nil check is not enough: a forged or corrupted frame can carry an
+	// empty non-nil route, and Src() on it panics.
+	if len(np.OtherRoute) < 2 || len(back) < 2 || back.Dst() != np.OtherRoute.Src() {
 		return
 	}
 	if composed, err := back.Append(np.OtherRoute); err == nil && len(composed) >= 2 {
@@ -741,7 +785,7 @@ func (n *Node) adoptWrap(side ids.Dir, partner ids.ID, route sroute.Route) {
 
 func (n *Node) handleDiscoverAck(pkt phys.SRPacket) {
 	da, ok := pkt.Payload.(discoverAckPayload)
-	if !ok || da.RouteFromOrigin == nil || da.RouteFromOrigin.Src() != n.id {
+	if !ok || len(da.RouteFromOrigin) < 2 || da.RouteFromOrigin.Src() != n.id {
 		return
 	}
 	endpoint := da.RouteFromOrigin.Dst()

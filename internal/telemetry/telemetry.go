@@ -56,6 +56,8 @@ func NewServer() *Server {
 	reg.Describe("ssr_probe", "latest convergence-probe reading, by metric")
 	reg.Describe("ssr_gauge", "latest generic gauge reading, by metric")
 	reg.Describe("ssr_shard_activations", "sharded-executor activations, by shard and phase")
+	reg.Describe("ssr_invariant_checks", "chaos-harness invariant checks, by invariant")
+	reg.Describe("ssr_invariant_violations", "chaos-harness invariant violations, by invariant")
 	return &Server{
 		reg:     reg,
 		stats:   trace.NewStatsSink(),
@@ -107,6 +109,11 @@ func (c collector) Emit(e trace.Event) {
 		s.reg.Gauge("ssr_gauge", "metric", e.Kind).Set(e.Value)
 	case trace.EvShardRound:
 		s.reg.Counter("ssr_shard_activations", "shard", e.Kind, "phase", e.Aux).Add(e.Value)
+	case trace.EvInvariant:
+		s.reg.Counter("ssr_invariant_checks", "invariant", e.Kind).Inc()
+		if e.Value != 0 {
+			s.reg.Counter("ssr_invariant_violations", "invariant", e.Kind).Inc()
+		}
 	}
 }
 

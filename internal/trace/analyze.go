@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -37,6 +38,11 @@ type Verdict struct {
 	Oscillations  int  // criterion samples that regressed upward
 	ConnectedAll  bool // connectivity invariant held at every sample
 	Rounds        int64
+	// Invariant accounting from EvInvariant events (chaos-harness traces):
+	// checks seen and checks that reported a violation. Zero on traces
+	// without online invariant checking.
+	InvariantChecks     int64
+	InvariantViolations int64
 }
 
 // String renders the verdict as the one-line summary tracectl prints.
@@ -53,6 +59,9 @@ func (v Verdict) String() string {
 	fmt.Fprintf(&b, " | metric=%s probes=%d oscillations=%d connectedAll=%v", v.Metric, v.Probes, v.Oscillations, v.ConnectedAll)
 	if v.Rounds > 0 {
 		fmt.Fprintf(&b, " rounds=%d", v.Rounds)
+	}
+	if v.InvariantChecks > 0 {
+		fmt.Fprintf(&b, " invariants=%d/%d violated", v.InvariantViolations, v.InvariantChecks)
 	}
 	return b.String()
 }
@@ -97,14 +106,31 @@ type Analysis struct {
 	distance     seriesTrack
 	missing      seriesTrack
 	disconnected bool
+
+	// Invariant accounting: per-invariant check/violation totals keyed by
+	// the EvInvariant event's Kind, plus each invariant's first violation
+	// (timestamp and detail) for failure attribution.
+	invChecks     map[string]int64
+	invViolations map[string]int64
+	invFirst      map[string]InvariantViolation
+}
+
+// InvariantViolation is the first recorded violation of one invariant.
+type InvariantViolation struct {
+	Invariant string // EvInvariant Kind
+	T         int64  // simulated time of the first violation
+	Detail    string // the event's Aux
 }
 
 // NewAnalysis returns an empty aggregator.
 func NewAnalysis() *Analysis {
 	return &Analysis{
-		Stats:    NewStatsSink(),
-		distance: seriesTrack{convergedAt: -1},
-		missing:  seriesTrack{convergedAt: -1},
+		Stats:         NewStatsSink(),
+		distance:      seriesTrack{convergedAt: -1},
+		missing:       seriesTrack{convergedAt: -1},
+		invChecks:     make(map[string]int64),
+		invViolations: make(map[string]int64),
+		invFirst:      make(map[string]InvariantViolation),
 	}
 }
 
@@ -121,6 +147,16 @@ func (a *Analysis) Emit(e Event) {
 		a.lastT = e.T
 	}
 	a.haveT = true
+	if e.Type == EvInvariant {
+		a.invChecks[e.Kind]++
+		if e.Value != 0 {
+			a.invViolations[e.Kind]++
+			if _, seen := a.invFirst[e.Kind]; !seen {
+				a.invFirst[e.Kind] = InvariantViolation{Invariant: e.Kind, T: e.T, Detail: e.Aux}
+			}
+		}
+		return
+	}
 	if e.Type != EvProbe {
 		return
 	}
@@ -169,11 +205,44 @@ func (a *Analysis) Verdict() Verdict {
 		ConvergedAt:   crit.convergedAt,
 		Rounds:        a.Stats.Rounds(),
 	}
+	for _, c := range a.invChecks {
+		v.InvariantChecks += c
+	}
+	for _, c := range a.invViolations {
+		v.InvariantViolations += c
+	}
 	v.Converged = crit.have && crit.last == 0
 	if !v.Converged {
 		v.ConvergedAt = -1
 	}
 	return v
+}
+
+// InvariantReport is the per-invariant check/violation summary of a trace.
+type InvariantReport struct {
+	Invariant  string
+	Checks     int64
+	Violations int64
+	// First is the earliest violation (zero value when Violations == 0).
+	First InvariantViolation
+}
+
+// Invariants returns the per-invariant accounting, sorted by name. Empty on
+// traces without EvInvariant events.
+func (a *Analysis) Invariants() []InvariantReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]InvariantReport, 0, len(a.invChecks))
+	for kind, checks := range a.invChecks {
+		out = append(out, InvariantReport{
+			Invariant:  kind,
+			Checks:     checks,
+			Violations: a.invViolations[kind],
+			First:      a.invFirst[kind],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Invariant < out[j].Invariant })
+	return out
 }
 
 // Taxonomy returns the per-kind send totals: from per-message events when

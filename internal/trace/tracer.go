@@ -25,7 +25,8 @@ const (
 	EvMsgSend EventType = iota
 	// EvMsgRecv records a physical frame delivered to its handler.
 	EvMsgRecv
-	// EvMsgDrop records a frame lost (Aux: "no-link", "loss", "dest-down").
+	// EvMsgDrop records a frame lost or destroyed (Aux: "no-link", "loss",
+	// "dest-down", "link-gone", "corrupt").
 	EvMsgDrop
 	// EvEdgeAdd records a virtual edge entering E_v.
 	EvEdgeAdd
@@ -57,6 +58,12 @@ const (
 	// "propose", "interior" or "boundary"; Value: state-changing
 	// activations).
 	EvShardRound
+	// EvInvariant records an online invariant check from the chaos harness.
+	// Kind names the invariant ("connectivity", "pending-bound",
+	// "route-loops", "reconverge"); Aux carries the violation detail when
+	// Value != 0. Value is 0 for a passing check and 1 for a violation, so
+	// a trace's violation count is the sum of the series.
+	EvInvariant
 )
 
 var eventNames = [...]string{
@@ -75,6 +82,7 @@ var eventNames = [...]string{
 	EvGauge:        "gauge",
 	EvProbe:        "probe",
 	EvShardRound:   "shard-round",
+	EvInvariant:    "invariant",
 }
 
 // String names the event type (the `ev` field of the JSONL encoding).
@@ -143,7 +151,7 @@ func ParseLevel(s string) (Level, bool) {
 // LevelOf returns the intrinsic granularity of an event type.
 func LevelOf(t EventType) Level {
 	switch t {
-	case EvRoundStart, EvRoundEnd, EvRingClosed, EvCounter, EvGauge, EvProbe:
+	case EvRoundStart, EvRoundEnd, EvRingClosed, EvCounter, EvGauge, EvProbe, EvInvariant:
 		return LevelRound
 	default:
 		return LevelMsg

@@ -6,6 +6,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/phys"
+	"repro/internal/sim"
 )
 
 func TestPathLessTotalOrder(t *testing.T) {
@@ -153,4 +154,62 @@ func TestStopHaltsBeaconsAndTicks(t *testing.T) {
 	if after > before+4 { // allow in-flight stragglers
 		t.Errorf("traffic continued after Stop: %d -> %d", before, after)
 	}
+}
+
+func TestDuplicateSetupAckTolerated(t *testing.T) {
+	// A jitter-duplicated SetupAck must be idempotent: the path stays
+	// confirmed and the vset gains the endpoint exactly once.
+	topo := graph.Line([]ids.ID{1, 2})
+	net := newNet(t, topo, 1)
+	c := NewCluster(net, Config{})
+	net.Engine().RunUntil(64, nil)
+	n2 := c.Nodes[2]
+	var path PathID
+	found := false
+	for p, e := range n2.paths {
+		if e.confirmed {
+			path, found = p, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no confirmed path to replay an ack against")
+	}
+	before := n2.vset.Len()
+	for i := 0; i < 2; i++ {
+		net.Send(phys.Message{From: 1, To: 2, Kind: KindSetupAck, Payload: setupAckPayload{
+			Path: path, Toward: 2, PrevHop: 1,
+		}})
+		net.Engine().RunUntil(net.Engine().Now()+8, nil)
+	}
+	if !n2.paths[path].confirmed {
+		t.Error("duplicate ack un-confirmed the path")
+	}
+	if n2.vset.Len() != before {
+		t.Errorf("vset grew from %d to %d on duplicate acks", before, n2.vset.Len())
+	}
+}
+
+func TestJitterReorderingConverges(t *testing.T) {
+	// With per-frame jitter larger than the hop latency, setup halves and
+	// their acks arrive out of order; VRR must still converge and must not
+	// leave unconfirmed path state growing without bound.
+	topo := graph.Line([]ids.ID{10, 20, 30, 40, 50})
+	net := phys.NewNetwork(sim.NewEngine(9), topo, phys.WithJitter(8))
+	c := NewCluster(net, Config{})
+	if at, ok := c.RunUntilConsistent(200000); !ok {
+		t.Fatalf("VRR did not converge under jitter by t=%d", at)
+	}
+	for v, n := range c.Nodes {
+		unconfirmed := 0
+		for _, e := range n.paths {
+			if !e.confirmed {
+				unconfirmed++
+			}
+		}
+		if unconfirmed > 64 {
+			t.Errorf("node %v holds %d unconfirmed paths", v, unconfirmed)
+		}
+	}
+	c.Stop()
 }

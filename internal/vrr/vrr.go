@@ -287,7 +287,13 @@ func (n *Node) addPhysicalNeighbor(u ids.ID) {
 }
 
 func (n *Node) tick() {
-	if n.stopped || !n.net.Up(n.id) {
+	if n.stopped {
+		return
+	}
+	if !n.net.Up(n.id) {
+		// Keep the chain scheduled while down so RecoverNode resumes
+		// maintenance (crash/recover churn in the chaos harness).
+		n.net.Engine().After(n.cfg.TickInterval, n.tick)
 		return
 	}
 	n.ticks++
