@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race smoke bench-trace bench-analyze bench-scale bench-scale-quick bench-chaos bench-chaos-quick fuzz-smoke clean
+.PHONY: check build vet test race smoke bench-trace bench-analyze bench-scale bench-scale-quick bench-chaos bench-chaos-quick bench-reliability bench-reliability-quick fuzz-smoke clean
 
 # The full gate: what CI (and the tier-1 driver) should run.
 check: vet build race
@@ -53,6 +53,18 @@ bench-chaos:
 bench-chaos-quick:
 	$(GO) run ./cmd/ssrsim -mode chaos -quick -n 16 -seed 1 -out /tmp/BENCH_chaos_quick.json
 
+# Reliability sweep: cold-start bootstrap under sustained loss (0/5/15/30%)
+# over every protocol on both the raw network and the reliable-delivery
+# sublayer. Exits non-zero unless every reliable-transport run converges
+# with zero invariant violations. Writes results/BENCH_reliability.json.
+bench-reliability:
+	$(GO) run ./cmd/ssrsim -mode reliability -n 24 -seed 1 -out results/BENCH_reliability.json
+
+# CI smoke variant: n=256 at 15% loss, reliable arm only — the cold-start
+# convergence claim at scale, without the raw control arms.
+bench-reliability-quick:
+	$(GO) run ./cmd/ssrsim -mode reliability -quick -n 256 -seed 1 -out /tmp/BENCH_reliability_quick.json
+
 # Short native-fuzz pass over the frame-decoding and linearize-step
 # targets (one -fuzz run per target; Go allows a single fuzz target per
 # invocation). The committed corpora under testdata/fuzz replay in plain
@@ -61,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFramePayloadDecoding -fuzztime=10s ./internal/ssr/
 	$(GO) test -run=^$$ -fuzz=FuzzRouteOps -fuzztime=10s ./internal/sroute/
 	$(GO) test -run=^$$ -fuzz=FuzzLinearizeStep -fuzztime=10s ./internal/linearize/
+	$(GO) test -run=^$$ -fuzz=FuzzRelFrameDecoding -fuzztime=10s ./internal/rel/
 
 clean:
 	$(GO) clean ./...

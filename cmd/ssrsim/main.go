@@ -15,6 +15,7 @@
 //	ssrsim -mode boot -proto isprp -n 256     # E6c: one traced bootstrap run
 //	ssrsim -mode scale -sizes 10000,100000    # E15: sharded executor scale bench
 //	ssrsim -mode chaos -n 24                  # E16: chaos suite over all protocols
+//	ssrsim -mode reliability -n 24            # E17: cold-start loss sweep, raw vs reliable
 //
 // -mode chaos compiles the committed fault-scenario suite (loss bursts,
 // partition+heal, crash/recover churn, jitter reordering, frame
@@ -23,6 +24,12 @@
 // attached, writing the machine-readable record to -out (default
 // results/BENCH_chaos.json). -quick keeps one scenario per fault family
 // for CI smoke runs.
+//
+// -mode reliability sweeps sustained frame loss (0/5/15/30%) active from
+// t=0 over every protocol on both the raw network and the reliable
+// sublayer (-transport reliable everywhere else), recording cold-start
+// convergence and the message overhead reliability costs, to -out (default
+// results/BENCH_reliability.json). -quick keeps the 15% reliable arm only.
 //
 // -mode scale times the sharded parallel round executor (-workers, -shards)
 // against its own Workers=1 schedule on large regular graphs, checks the
@@ -47,7 +54,7 @@ import (
 
 func main() {
 	cli := exp.BindCLI(flag.CommandLine, exp.CLIOptions{
-		Modes:        "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot | scale | chaos",
+		Modes:        "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot | scale | chaos | reliability",
 		DefaultMode:  "compare",
 		DefaultSizes: "16,24,32",
 	})
@@ -55,8 +62,8 @@ func main() {
 	kill := flag.Int("kill", 3, "nodes to fail for -mode churn")
 	proto := flag.String("proto", "linearization", "protocol for -mode boot: "+strings.Join(exp.ProtocolNames(), " | "))
 	probeEvery := flag.Int("probe-every", 16, "convergence-probe sampling interval in ticks for -mode boot")
-	out := flag.String("out", "", "JSON output path for -mode scale / chaos (default results/BENCH_<mode>.json)")
-	quick := flag.Bool("quick", false, "shrink -mode scale/chaos to a fast smoke run")
+	out := flag.String("out", "", "JSON output path for -mode scale / chaos / reliability (default results/BENCH_<mode>.json)")
+	quick := flag.Bool("quick", false, "shrink -mode scale/chaos/reliability to a fast smoke run")
 	flag.Parse()
 
 	closeTrace, err := cli.Setup()
@@ -155,6 +162,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssrsim: wrote %s\n", outPath)
 		if !res.Criteria.Met {
 			fmt.Fprintln(os.Stderr, "ssrsim: chaos criteria NOT met")
+			os.Exit(1)
+		}
+	case "reliability":
+		outPath := *out
+		if outPath == "" {
+			outPath = "results/BENCH_reliability.json"
+		}
+		rep, res, err := exp.ReliabilityBench(*cli.N, t, *cli.Seed, *quick)
+		if err != nil {
+			closeTrace()
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		if err := exp.WriteReliabilityJSON(outPath, res); err != nil {
+			closeTrace()
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		emit(rep)
+		fmt.Fprintf(os.Stderr, "ssrsim: wrote %s\n", outPath)
+		if !res.Criteria.Met {
+			fmt.Fprintln(os.Stderr, "ssrsim: reliability criteria NOT met")
 			os.Exit(1)
 		}
 	default:

@@ -145,6 +145,19 @@ func cmdReport(args []string) error {
 		fmt.Print(tab)
 	}
 
+	if rel := a.Rel(); !rel.Empty() {
+		fmt.Println("\n-- reliable sublayer --")
+		tab := metrics.NewTable("kind", "retransmits")
+		for _, kt := range rel.Retransmits {
+			tab.AddRow(kt.Kind, kt.Count)
+		}
+		tab.AddRow("TOTAL", rel.Total)
+		fmt.Print(tab)
+		fmt.Printf("max attempt=%d  rto samples=%d  rto min/max/last=%g/%g/%g  lease down/up=%d/%d\n",
+			rel.MaxAttempt, rel.RTOSamples, rel.RTOMin, rel.RTOMax, rel.RTOLast,
+			rel.LeaseDowns, rel.LeaseUps)
+	}
+
 	if invs := a.Invariants(); len(invs) > 0 {
 		fmt.Println("\n-- invariants (chaos harness) --")
 		tab := metrics.NewTable("invariant", "checks", "violations", "first violation")
@@ -225,6 +238,33 @@ func cmdDiff(args []string) error {
 	}
 	tab.AddRow("TOTAL", a.TotalSent(), b.TotalSent(), b.TotalSent()-a.TotalSent())
 	fmt.Print(tab)
+
+	// The retransmission table makes a raw-vs-reliable pair comparable: one
+	// side all zeros is the raw arm, and the deltas are the reliability cost.
+	ra, rb := a.Rel(), b.Rel()
+	if !ra.Empty() || !rb.Empty() {
+		fmt.Println("\n-- retransmissions (reliable sublayer) --")
+		retx := map[string][2]int64{}
+		for _, kt := range ra.Retransmits {
+			v := retx[kt.Kind]
+			v[0] = kt.Count
+			retx[kt.Kind] = v
+		}
+		for _, kt := range rb.Retransmits {
+			v := retx[kt.Kind]
+			v[1] = kt.Count
+			retx[kt.Kind] = v
+		}
+		rtab := metrics.NewTable("kind", "A", "B", "delta (B-A)")
+		for _, kind := range sortedKeys(retx) {
+			v := retx[kind]
+			rtab.AddRow(kind, v[0], v[1], v[1]-v[0])
+		}
+		rtab.AddRow("TOTAL", ra.Total, rb.Total, rb.Total-ra.Total)
+		rtab.AddRow("lease downs", ra.LeaseDowns, rb.LeaseDowns, rb.LeaseDowns-ra.LeaseDowns)
+		rtab.AddRow("lease ups", ra.LeaseUps, rb.LeaseUps, rb.LeaseUps-ra.LeaseUps)
+		fmt.Print(rtab)
+	}
 	return nil
 }
 

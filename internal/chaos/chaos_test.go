@@ -5,12 +5,16 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/floodboot"
 	"repro/internal/graph"
 	"repro/internal/ids"
+	"repro/internal/isprp"
 	"repro/internal/phys"
+	"repro/internal/rel"
 	"repro/internal/sim"
 	"repro/internal/ssr"
 	"repro/internal/trace"
+	"repro/internal/vrr"
 )
 
 func ring(n int) *graph.Graph {
@@ -261,6 +265,84 @@ func TestRunSSRChurnReconverges(t *testing.T) {
 	}
 	if res.ReconvergeTime <= 0 {
 		t.Error("churn recovery should take measurable time")
+	}
+}
+
+func TestCompileWarmupCheckRespectsTransport(t *testing.T) {
+	topo := ring(8)
+	scn := Scenario{Name: "cold", Warmup: 1024, Settle: 256, Faults: []FaultSpec{
+		{Kind: LossBurst, Start: 0, Duration: 2048, Prob: 0.15},
+	}}
+	if _, err := Compile(scn, topo, 1); err == nil {
+		t.Fatal("Compile accepted a pre-warmup fault on the raw transport")
+	}
+	scn.Transport = TransportReliable
+	sched, err := Compile(scn, topo, 1)
+	if err != nil {
+		t.Fatalf("Compile rejected a cold-start fault despite Transport: reliable: %v", err)
+	}
+	if sched.Actions[0].At != 0 {
+		t.Fatalf("first action at t=%d, want the loss burst live from t=0", int64(sched.Actions[0].At))
+	}
+}
+
+// TestColdStartLossBurstReconverges is the regression test for the lifted
+// warmup restriction: with the reliable sublayer underneath, every bootstrap
+// protocol must reach global consistency even though a 15% loss burst is
+// active from t=0 — before a single protocol frame has flown — and must do so
+// with zero invariant violations.
+func TestColdStartLossBurstReconverges(t *testing.T) {
+	scn := Scenario{
+		Name: "cold-start-loss", Warmup: 2048, Settle: 1024,
+		Transport: TransportReliable,
+		Faults: []FaultSpec{
+			{Kind: LossBurst, Start: 0, Duration: 4096, Prob: 0.15},
+		},
+	}
+	topo := ring(12)
+	sched, err := Compile(scn, topo, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := []struct {
+		name string
+		mk   func(tr phys.Transport) Protocol
+	}{
+		{"linearization", func(tr phys.Transport) Protocol {
+			return ssr.NewCluster(tr, ssr.Config{CacheMode: cache.Bounded})
+		}},
+		{"isprp", func(tr phys.Transport) Protocol {
+			return isprp.NewCluster(tr, isprp.Config{EnableFlood: true})
+		}},
+		{"vrr", func(tr phys.Transport) Protocol {
+			return vrr.NewCluster(tr, vrr.Config{CloseRing: true})
+		}},
+		{"flood", func(tr phys.Transport) Protocol {
+			return floodboot.NewCluster(tr)
+		}},
+	}
+	for _, tc := range protos {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := phys.NewNetwork(sim.NewEngine(9), topo.Clone())
+			rn := rel.New(raw, rel.DefaultConfig())
+			proto := tc.mk(rn)
+			res := Run(scn, sched, raw, proto, RunConfig{})
+			if !res.Converged {
+				t.Fatalf("%s never reconverged under a t=0 loss burst over reliable transport", tc.name)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("invariant violations: %+v", res.Violations)
+			}
+			if res.FirstConsistentAt < 0 {
+				t.Fatal("consistency poller never observed a consistent instant")
+			}
+			if res.Drops["loss"] == 0 {
+				t.Error("a 15% loss burst from t=0 dropped no frames?")
+			}
+			if rn.Stats().Retransmits == 0 {
+				t.Error("sustained loss provoked zero retransmissions")
+			}
+		})
 	}
 }
 

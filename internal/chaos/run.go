@@ -18,6 +18,15 @@ type RunConfig struct {
 	Deadline     sim.Time
 }
 
+// ConsistencyProber is an optional protocol capability: an instantaneous
+// global-consistency predicate. All four bootstrap clusters implement it.
+// When present, Run polls it on the check cadence from the start of the
+// run and records the first instant it holds — the cold-start convergence
+// metric for scenarios whose faults are active during bootstrap itself.
+type ConsistencyProber interface {
+	Consistent() bool
+}
+
 // Result is the machine-readable outcome of one (scenario, protocol) run.
 type Result struct {
 	Scenario string `json:"scenario"`
@@ -29,6 +38,12 @@ type Result struct {
 	ConvergedAt    sim.Time `json:"converged_at"`
 	LastFaultAt    sim.Time `json:"last_fault_at"`
 	ReconvergeTime sim.Time `json:"reconverge_time"` // ConvergedAt - LastFaultAt
+	// FirstConsistentAt is the earliest instant global consistency was
+	// observed (polled on the check cadence), regardless of later faults
+	// breaking it again; -1 if consistency was never reached. For
+	// cold-start scenarios this is the headline metric: how long bootstrap
+	// took while the fault was already active.
+	FirstConsistentAt sim.Time `json:"first_consistent_at"`
 
 	WarmupFrames     int64            `json:"warmup_frames"`
 	TotalFrames      int64            `json:"total_frames"`
@@ -51,29 +66,71 @@ type Result struct {
 // drift relative to the phases.
 func Run(scn Scenario, sched *Schedule, net *phys.Network, proto Protocol, cfg RunConfig) Result {
 	eng := net.Engine()
-	res := Result{Scenario: scn.Name, Seed: sched.Seed, LastFaultAt: sched.LastFault}
+	res := Result{Scenario: scn.Name, Seed: sched.Seed, LastFaultAt: sched.LastFault, FirstConsistentAt: -1}
 	deadline := cfg.Deadline
 	if deadline <= 0 {
 		deadline = sim.Time(len(net.Nodes())) * 4096
 	}
+	settleEnd := sched.LastFault + scn.Settle
 
-	// Phase 1: fault-free warmup. The protocol bootstraps to consistency
-	// (recorded, not enforced — the reconvergence verdict at the end is the
-	// acceptance criterion) and the clock is pinned to the warmup boundary.
+	// Cold-start scenarios (Transport: reliable) may carry actions before
+	// the warmup boundary; those must be live while the protocol
+	// bootstraps, so schedule them — and create the checker they report to —
+	// before phase 1 runs. The checker's periodic chain still starts at the
+	// warmup boundary; only its fault-window and down-node bookkeeping is
+	// fed early.
+	checker := NewChecker(net, proto, cfg.CheckEvery, cfg.Grace, cfg.PendingBound)
+	for _, a := range sched.Actions {
+		if a.At >= scn.Warmup {
+			continue
+		}
+		act := a
+		eng.At(act.At, func() { apply(act, net, checker) })
+	}
+
+	// Poll instantaneous consistency on the check cadence from the start,
+	// recording the first instant it holds. The chain retires itself at the
+	// settle boundary; phase 3's convergence drive covers the tail.
+	if cp, ok := proto.(ConsistencyProber); ok {
+		every := cfg.CheckEvery
+		if every <= 0 {
+			every = 64
+		}
+		var poll func()
+		poll = func() {
+			if res.FirstConsistentAt >= 0 {
+				return
+			}
+			if cp.Consistent() {
+				res.FirstConsistentAt = eng.Now()
+				return
+			}
+			if eng.Now()+every <= settleEnd {
+				eng.After(every, poll)
+			}
+		}
+		eng.After(every, poll)
+	}
+
+	// Phase 1: warmup. Fault-free unless the scenario scheduled cold-start
+	// actions above. The protocol bootstraps to consistency (recorded, not
+	// enforced — the reconvergence verdict at the end is the acceptance
+	// criterion) and the clock is pinned to the warmup boundary.
 	_, res.WarmupOK = proto.RunUntilConsistent(scn.Warmup)
 	eng.At(scn.Warmup, func() {})
 	eng.RunUntil(scn.Warmup, nil)
 	res.WarmupFrames = net.Counters().Total()
 
-	// Phase 2: schedule the compiled actions and let them play out under
-	// the checker. Actions carry absolute times at or after the warmup.
-	checker := NewChecker(net, proto, cfg.CheckEvery, cfg.Grace, cfg.PendingBound)
+	// Phase 2: schedule the remaining actions and let them play out under
+	// the checker.
 	checker.Start()
 	for _, a := range sched.Actions {
+		if a.At < scn.Warmup {
+			continue
+		}
 		act := a
 		eng.At(act.At, func() { apply(act, net, checker) })
 	}
-	settleEnd := sched.LastFault + scn.Settle
 	eng.At(settleEnd, func() {})
 	eng.RunUntil(settleEnd, nil)
 
@@ -86,6 +143,9 @@ func Run(scn Scenario, sched *Schedule, net *phys.Network, proto Protocol, cfg R
 
 	if res.Converged && res.ConvergedAt > res.LastFaultAt {
 		res.ReconvergeTime = res.ConvergedAt - res.LastFaultAt
+	}
+	if res.FirstConsistentAt < 0 && res.Converged {
+		res.FirstConsistentAt = res.ConvergedAt
 	}
 	res.TotalFrames = net.Counters().Total()
 	res.FaultPhaseFrames = res.TotalFrames - res.WarmupFrames

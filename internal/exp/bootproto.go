@@ -44,17 +44,17 @@ type Protocol interface {
 // configurations match what the experiments use as each protocol's
 // representative setting: linearization with the bounded cache, ISPRP with
 // its representative flood enabled, VRR and floodboot with defaults.
-var protocolRegistry = map[string]func(net *phys.Network) Protocol{
-	"linearization": func(net *phys.Network) Protocol {
+var protocolRegistry = map[string]func(net phys.Transport) Protocol{
+	"linearization": func(net phys.Transport) Protocol {
 		return ssr.NewCluster(net, ssr.Config{CacheMode: cache.Bounded})
 	},
-	"isprp": func(net *phys.Network) Protocol {
+	"isprp": func(net phys.Transport) Protocol {
 		return isprp.NewCluster(net, isprp.Config{EnableFlood: true})
 	},
-	"vrr": func(net *phys.Network) Protocol {
+	"vrr": func(net phys.Transport) Protocol {
 		return vrr.NewCluster(net, vrr.Config{CloseRing: true})
 	},
-	"flood": func(net *phys.Network) Protocol {
+	"flood": func(net phys.Transport) Protocol {
 		return floodboot.NewCluster(net)
 	},
 }
@@ -69,8 +69,9 @@ func ProtocolNames() []string {
 	return out
 }
 
-// NewBootProtocol starts the named bootstrap protocol over net.
-func NewBootProtocol(name string, net *phys.Network) (Protocol, error) {
+// NewBootProtocol starts the named bootstrap protocol over net — either a
+// raw *phys.Network or the reliable sublayer wrapping one.
+func NewBootProtocol(name string, net phys.Transport) (Protocol, error) {
 	mk, ok := protocolRegistry[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown protocol %q (want one of %v)", name, ProtocolNames())

@@ -38,6 +38,9 @@ type CLI struct {
 	// pool of k goroutines; -shards 0 picks sim.DefaultShards.
 	Workers *int
 	Shards  *int
+	// Transport selects what the bootstrap protocols run over: the raw
+	// lossy network or the reliable-delivery sublayer (internal/rel).
+	Transport *string
 
 	traceFile  *string
 	traceLevel *string
@@ -61,6 +64,8 @@ func BindCLI(fs *flag.FlagSet, opt CLIOptions) *CLI {
 		CSV:     fs.Bool("csv", false, "emit the result table as CSV instead of aligned text"),
 		Workers: fs.Int("workers", 0, "worker pool for the sharded round executor (0 = single-threaded legacy executor)"),
 		Shards:  fs.Int("shards", 0, "shard count for the parallel executor (0 = auto-scale with n)"),
+		Transport: fs.String("transport", TransportRaw,
+			"protocol transport: raw | reliable (sequence numbers, adaptive retransmission, lease failure detector)"),
 
 		traceFile:  fs.String("trace", "", "write a JSONL event trace of the run to this file"),
 		traceLevel: fs.String("trace-level", "round", "trace granularity: off | round | msg"),
@@ -71,11 +76,14 @@ func BindCLI(fs *flag.FlagSet, opt CLIOptions) *CLI {
 }
 
 // Setup wires the parsed flags into the harness: the observability stack
-// (SetupObservability) and the round-executor selection (SetExecutor). The
-// returned cleanup is always non-nil and must run before exit to flush
-// traces.
+// (SetupObservability), the round-executor selection (SetExecutor) and the
+// protocol transport (SetTransport). The returned cleanup is always
+// non-nil and must run before exit to flush traces.
 func (c *CLI) Setup() (func(), error) {
 	SetExecutor(*c.Workers, *c.Shards)
+	if err := SetTransport(*c.Transport); err != nil {
+		return func() {}, err
+	}
 	return SetupObservability(*c.traceFile, *c.traceLevel, *c.pprofAddr, *c.listenAddr)
 }
 

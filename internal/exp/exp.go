@@ -25,6 +25,33 @@ var tracer trace.Tracer
 // own level filtering: pass trace.WithLevel(sink, level).
 func EnableTracing(tr trace.Tracer) { tracer = tr }
 
+// Transport names for SetTransport / the -transport flag.
+const (
+	TransportRaw      = "raw"
+	TransportReliable = "reliable"
+)
+
+// transportName, when set via SetTransport, wraps every network the
+// protocol harnesses create in the reliable-delivery sublayer
+// (internal/rel) — the same harness-wide pattern as the tracer, so the
+// cmd/ tools' -transport flag reaches every bootstrap run.
+var transportName = TransportRaw
+
+// SetTransport selects the harness-wide transport: "raw" (or "") keeps
+// protocols directly on the lossy physical network, "reliable" interposes
+// the retransmitting sublayer.
+func SetTransport(name string) error {
+	switch name {
+	case "", TransportRaw:
+		transportName = TransportRaw
+	case TransportReliable:
+		transportName = TransportReliable
+	default:
+		return fmt.Errorf("unknown transport %q (want %s or %s)", name, TransportRaw, TransportReliable)
+	}
+	return nil
+}
+
 // defaultWorkers/defaultShards, when set via SetExecutor, select the
 // sharded parallel round executor for every linearization run the
 // harnesses create — the same harness-wide pattern as the tracer, so the

@@ -10,6 +10,7 @@ import (
 	"repro/internal/isprp"
 	"repro/internal/metrics"
 	"repro/internal/phys"
+	"repro/internal/rel"
 	"repro/internal/sim"
 	"repro/internal/ssr"
 	"repro/internal/trace"
@@ -19,6 +20,18 @@ import (
 func newNet(topo graph.Topology, n int, seed int64) *phys.Network {
 	eng := sim.NewEngine(seed, sim.WithTracer(tracer))
 	return phys.NewNetwork(eng, topoOrDie(topo, n, seed), phys.WithTracer(tracer))
+}
+
+// newTransportNet builds a raw network plus the transport protocols should
+// run over, honoring the harness-wide SetTransport selection. The raw
+// network stays the handle for fault injection and counters even when the
+// reliable sublayer is interposed.
+func newTransportNet(topo graph.Topology, n int, seed int64) (*phys.Network, phys.Transport) {
+	raw := newNet(topo, n, seed)
+	if transportName == TransportReliable {
+		return raw, rel.New(raw, rel.DefaultConfig())
+	}
+	return raw, raw
 }
 
 // MessageCost reproduces experiment E6: physical frames to global

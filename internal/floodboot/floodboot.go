@@ -30,17 +30,38 @@ type announce struct {
 // Node is one participant.
 type Node struct {
 	id    ids.ID
-	net   *phys.Network
+	net   phys.Transport
 	known ids.Set
 	// routes keeps one source route per learned identifier (shortest seen).
 	routes map[ids.ID]sroute.Route
 }
 
 // NewNode creates and registers a flood-bootstrap node.
-func NewNode(net *phys.Network, id ids.ID) *Node {
+func NewNode(net phys.Transport, id ids.ID) *Node {
 	n := &Node{id: id, net: net, known: ids.NewSet(id), routes: make(map[ids.ID]sroute.Route)}
 	net.Register(id, phys.HandlerFunc(n.handle))
+	if fd, ok := net.(phys.FailureDetector); ok {
+		fd.SubscribeLeases(id, n.onLease)
+	}
 	return n
+}
+
+// onLease consumes a failure-detector verdict about physical neighbor peer.
+// Down: drop the learned routes crossing the dead link (the identifiers
+// stay known — floodboot's consistency is knowledge, not liveness). Up:
+// re-announce our identifier so knowledge crosses the healed link; receivers
+// that already know us suppress the re-flood, so the cost is one frame per
+// link on the healed side.
+func (n *Node) onLease(peer ids.ID, up bool) {
+	if up {
+		n.net.Broadcast(n.id, KindAnnounce, announce{Origin: n.id, Path: []ids.ID{n.id}})
+		return
+	}
+	for v, r := range n.routes {
+		if len(r) >= 2 && r[1] == peer {
+			delete(n.routes, v)
+		}
+	}
 }
 
 // ID returns the node identifier.
@@ -96,19 +117,23 @@ func (n *Node) StateSize() int { return n.known.Len() + len(n.routes) }
 
 // Cluster drives floodboot over a network.
 type Cluster struct {
-	Net          *phys.Network
+	Net          phys.Transport
 	Nodes        map[ids.ID]*Node
 	probeStopped bool
 }
 
-// NewCluster creates and starts one node per topology member.
-func NewCluster(net *phys.Network) *Cluster {
+// NewCluster creates and starts one node per topology member. Nodes start
+// in ascending identifier order — map-order iteration here would reshuffle
+// the initial flood's event sequence (and with it every engine RNG draw)
+// between runs of the same seed.
+func NewCluster(net phys.Transport) *Cluster {
 	c := &Cluster{Net: net, Nodes: make(map[ids.ID]*Node)}
-	for _, v := range net.Topology().Nodes() {
+	order := net.Topology().Nodes()
+	for _, v := range order {
 		c.Nodes[v] = NewNode(net, v)
 	}
-	for _, n := range c.Nodes {
-		n.Start()
+	for _, v := range order {
+		c.Nodes[v].Start()
 	}
 	return c
 }

@@ -85,7 +85,7 @@ type floodPayload struct {
 // Node is one ISPRP participant.
 type Node struct {
 	id      ids.ID
-	net     *phys.Network
+	net     phys.Transport
 	courier *phys.Courier
 	cfg     Config
 
@@ -102,7 +102,7 @@ type Node struct {
 
 // NewNode creates and registers an ISPRP node on the network. Call Start
 // to begin protocol activity.
-func NewNode(net *phys.Network, id ids.ID, cfg Config) *Node {
+func NewNode(net phys.Transport, id ids.ID, cfg Config) *Node {
 	n := &Node{
 		id:        id,
 		net:       net,
@@ -114,7 +114,42 @@ func NewNode(net *phys.Network, id ids.ID, cfg Config) *Node {
 	n.courier.OnDeliver = n.deliver
 	n.courier.OnForward = n.overhear
 	net.Register(id, phys.HandlerFunc(n.handle))
+	if fd, ok := net.(phys.FailureDetector); ok {
+		fd.SubscribeLeases(id, n.onLease)
+	}
 	return n
+}
+
+// onLease consumes a failure-detector verdict about physical neighbor peer.
+// Down: purge every cached route crossing the dead link and re-pick the
+// successor from the surviving destinations — a successor pointer through a
+// dead first hop would otherwise keep notifying into the void until a
+// better route happened by. Up: re-learn the direct edge.
+func (n *Node) onLease(peer ids.ID, up bool) {
+	if n.stopped {
+		return
+	}
+	if up {
+		if r, err := sroute.New(n.id, peer); err == nil {
+			n.learnRoute(r)
+		}
+		return
+	}
+	for _, dst := range n.rc.Destinations() {
+		if r := n.rc.Route(dst); len(r) >= 2 && r[1] == peer {
+			n.rc.Remove(dst)
+		}
+	}
+	if n.hasSucc && n.rc.Route(n.succ) == nil {
+		n.hasSucc = false
+		// Adopt the ring-closest surviving destination; the rewiring rule
+		// refines it as better candidates are learned.
+		for _, x := range n.rc.Destinations() {
+			if !n.hasSucc || ids.Between(x, n.id, n.succ) {
+				n.succ, n.hasSucc = x, true
+			}
+		}
+	}
 }
 
 // ID returns the node identifier.
@@ -353,14 +388,14 @@ func (n *Node) learnRoute(r sroute.Route) {
 // Cluster runs ISPRP over an entire network and provides the convergence
 // oracle used by experiments.
 type Cluster struct {
-	Net          *phys.Network
+	Net          phys.Transport
 	Nodes        map[ids.ID]*Node
 	probeStopped bool
 }
 
 // NewCluster creates one ISPRP node per registered topology node and starts
 // them with per-node jitter.
-func NewCluster(net *phys.Network, cfg Config) *Cluster {
+func NewCluster(net phys.Transport, cfg Config) *Cluster {
 	c := &Cluster{Net: net, Nodes: make(map[ids.ID]*Node)}
 	for _, v := range net.Topology().Nodes() {
 		c.Nodes[v] = NewNode(net, v, cfg)

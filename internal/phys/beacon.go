@@ -24,7 +24,7 @@ const BeaconKind = "phys:hello"
 // the neighbors heard from. It models VRR's link-layer neighbor discovery;
 // entries expire after MissLimit beacon intervals without a hello.
 type Beaconer struct {
-	net      *Network
+	net      Transport
 	self     ids.ID
 	interval sim.Time
 	// MissLimit is how many intervals a neighbor may stay silent before it
@@ -47,7 +47,7 @@ type Beaconer struct {
 }
 
 // NewBeaconer creates (but does not start) a beaconer for self.
-func NewBeaconer(net *Network, self ids.ID, interval sim.Time) *Beaconer {
+func NewBeaconer(net Transport, self ids.ID, interval sim.Time) *Beaconer {
 	return &Beaconer{
 		net:       net,
 		self:      self,

@@ -20,7 +20,7 @@ type SRPacket struct {
 // Protocols embed one Courier per node and pass incoming messages to
 // Handle; packets addressed to this node surface through OnDeliver.
 type Courier struct {
-	net  *Network
+	net  Transport
 	self ids.ID
 	// OnDeliver receives packets whose route terminates at this node.
 	OnDeliver func(pkt SRPacket)
@@ -32,8 +32,8 @@ type Courier struct {
 	OnUndeliverable func(pkt SRPacket)
 }
 
-// NewCourier returns a courier for node self on the given network.
-func NewCourier(net *Network, self ids.ID) *Courier {
+// NewCourier returns a courier for node self on the given transport.
+func NewCourier(net Transport, self ids.ID) *Courier {
 	return &Courier{net: net, self: self}
 }
 

@@ -44,6 +44,55 @@ type HandlerFunc func(m Message)
 // HandleMessage calls f(m).
 func (f HandlerFunc) HandleMessage(m Message) { f(m) }
 
+// Transport is the Send/Handler seam the protocols run over. The raw
+// Network implements it directly (fire-and-forget frames); rel.Network
+// wraps a Network behind the same surface, adding sequence-numbered
+// delivery with ACKs, retransmission and a lease-based failure detector.
+// Protocol packages accept a Transport, so "which delivery semantics" is a
+// harness decision (the -transport flag), not a per-protocol rewrite.
+type Transport interface {
+	// Engine returns the underlying discrete-event engine.
+	Engine() *sim.Engine
+	// Topology returns the live physical graph.
+	Topology() *graph.Graph
+	// Counters returns the per-kind message accounting.
+	Counters() *Counters
+	// Tracer returns the transport's tracer (nil when tracing is off).
+	Tracer() trace.Tracer
+	// Register installs the protocol handler for a node.
+	Register(v ids.ID, h Handler)
+	// Nodes returns all registered node identifiers in ascending order.
+	Nodes() []ids.ID
+	// NeighborsOf returns the live physical neighbors of v, ascending.
+	NeighborsOf(v ids.ID) []ids.ID
+	// Up reports whether v is registered and not failed.
+	Up(v ids.ID) bool
+	// Send transmits (or for reliable transports: accepts for delivery) a
+	// single-hop frame.
+	Send(m Message) bool
+	// Broadcast sends a frame to every live physical neighbor of from.
+	Broadcast(from ids.ID, kind string, payload any) int
+	// FailNode / RecoverNode drive node churn (harness-side; membership
+	// experiments call them through the cluster drivers).
+	FailNode(v ids.ID)
+	RecoverNode(v ids.ID)
+}
+
+// LeaseFunc observes one failure-detector verdict about a physical
+// neighbor of the subscribing node: up=false when the neighbor's lease
+// expired (no traffic, heartbeats unanswered), up=true when traffic from a
+// previously-dead neighbor resumed.
+type LeaseFunc func(peer ids.ID, up bool)
+
+// FailureDetector is the optional Transport capability the reliable
+// sublayer adds: protocols subscribe per node and tear down state for dead
+// neighbors on the down edge instead of waiting out their own silence
+// thresholds. Raw networks do not implement it; protocols must type-assert
+// and degrade gracefully.
+type FailureDetector interface {
+	SubscribeLeases(self ids.ID, cb LeaseFunc)
+}
+
 // LatencyModel computes the delivery delay for a frame crossing one link.
 type LatencyModel func(from, to ids.ID) sim.Time
 
@@ -65,8 +114,26 @@ type Network struct {
 	jitter      sim.Time // uniform extra delay in [0, jitter]
 	corruptProb float64  // probability a delivered frame arrives garbled
 
+	// linkEpoch counts how many times each link has been torn down. A frame
+	// carries the epoch of its link at send time; if the link churns away
+	// while the frame is in flight, the epoch no longer matches at delivery
+	// time and the frame is dropped as "stale-link" — even when the link has
+	// been re-added in between. Without this, jitter reordering could
+	// deliver a frame across a link incarnation it never traveled.
+	linkEpoch map[linkKey]uint64
+
 	counters *Counters
 	tracer   trace.Tracer
+}
+
+// linkKey canonicalizes an undirected link for epoch accounting.
+type linkKey struct{ U, V ids.ID }
+
+func mkLinkKey(u, v ids.ID) linkKey {
+	if u > v {
+		u, v = v, u
+	}
+	return linkKey{U: u, V: v}
 }
 
 // Option configures a Network.
@@ -113,12 +180,13 @@ func WithTracer(t trace.Tracer) Option { return func(n *Network) { n.tracer = t 
 // cloned; later churn does not affect the caller's graph.
 func NewNetwork(engine *sim.Engine, topo *graph.Graph, opts ...Option) *Network {
 	n := &Network{
-		engine:   engine,
-		topo:     topo.Clone(),
-		handlers: make(map[ids.ID]Handler),
-		down:     ids.NewSet(),
-		latency:  ConstantLatency(1),
-		counters: NewCounters(),
+		engine:    engine,
+		topo:      topo.Clone(),
+		handlers:  make(map[ids.ID]Handler),
+		down:      ids.NewSet(),
+		latency:   ConstantLatency(1),
+		linkEpoch: make(map[linkKey]uint64),
+		counters:  NewCounters(),
 	}
 	for _, o := range opts {
 		o(n)
@@ -204,6 +272,7 @@ func (n *Network) Send(m Message) bool {
 	if n.jitter > 0 {
 		d += sim.Time(n.engine.Rand().Int63n(int64(n.jitter) + 1))
 	}
+	epoch := n.linkEpoch[mkLinkKey(m.From, m.To)]
 	if n.tracer != nil {
 		n.tracer.Emit(trace.Event{
 			T: int64(n.engine.Now()), Type: trace.EvMsgSend,
@@ -224,6 +293,15 @@ func (n *Network) Send(m Message) bool {
 		if !n.topo.HasEdge(m.From, m.To) {
 			n.counters.Inc("drop:link-gone", 1)
 			n.traceDrop(m, "link-gone")
+			return
+		}
+		if n.linkEpoch[mkLinkKey(m.From, m.To)] != epoch {
+			// The link was torn down (and re-added) while the frame was in
+			// flight: the frame traveled a link incarnation that no longer
+			// exists. Jitter reordering made this reachable — a late frame
+			// could otherwise slip across the healed link.
+			n.counters.Inc("drop:stale-link", 1)
+			n.traceDrop(m, "stale-link")
 			return
 		}
 		if n.corruptProb > 0 && n.engine.Rand().Float64() < n.corruptProb {
@@ -280,8 +358,14 @@ func (n *Network) RecoverNode(v ids.ID) { n.down.Remove(v) }
 // AddLink inserts a physical link (e.g. two radios moving into range).
 func (n *Network) AddLink(u, v ids.ID) { n.topo.AddEdge(u, v) }
 
-// RemoveLink removes a physical link.
-func (n *Network) RemoveLink(u, v ids.ID) { n.topo.RemoveEdge(u, v) }
+// RemoveLink removes a physical link. Frames already in flight across it
+// are lost ("stale-link") even if the link is later re-added.
+func (n *Network) RemoveLink(u, v ids.ID) {
+	if n.topo.HasEdge(u, v) {
+		n.linkEpoch[mkLinkKey(u, v)]++
+	}
+	n.topo.RemoveEdge(u, v)
+}
 
 // Counters tallies messages by kind. Kinds use a "proto:type" convention,
 // e.g. "ssr:notify" or "isprp:flood".

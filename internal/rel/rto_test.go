@@ -1,0 +1,119 @@
+package rel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// almost compares floats to the precision the hand computations carry.
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestRTOEvolution pins the Jacobson estimator against hand-computed SRTT /
+// RTTVAR sequences: first sample R gives SRTT=R, RTTVAR=R/2; later samples
+// apply RTTVAR = 3/4·RTTVAR + 1/4·|SRTT−R| then SRTT = 7/8·SRTT + 1/8·R;
+// RTO = ceil(SRTT + 4·RTTVAR) clamped to [min, max].
+func TestRTOEvolution(t *testing.T) {
+	cases := []struct {
+		name     string
+		min, max sim.Time
+		samples  []sim.Time
+		srtt     []float64
+		rttvar   []float64
+		rto      []sim.Time
+	}{
+		{
+			// Steady then jittered: 8, 12, 4.
+			// s=8:  srtt=8,      rttvar=4,     rto=8+16=24
+			// s=12: rttvar=3/4·4+1/4·|8−12|=4;        srtt=7/8·8+1/8·12=8.5;     rto=⌈24.5⌉=25
+			// s=4:  rttvar=3/4·4+1/4·|8.5−4|=4.125;   srtt=7/8·8.5+1/8·4=7.9375; rto=⌈24.4375⌉=25
+			name: "jittered", min: 1, max: 256,
+			samples: []sim.Time{8, 12, 4},
+			srtt:    []float64{8, 8.5, 7.9375},
+			rttvar:  []float64{4, 4, 4.125},
+			rto:     []sim.Time{24, 25, 25},
+		},
+		{
+			// Constant RTT: variance decays geometrically toward zero and the
+			// RTO floor takes over.
+			// s=2: srtt=2, rttvar=1, rto=6
+			// s=2: rttvar=0.75, srtt=2, rto=5
+			// s=2: rttvar=0.5625, srtt=2, rto=⌈4.25⌉=5
+			// s=2: rttvar=0.421875, srtt=2, rto=⌈3.6875⌉ → clamp to min 4
+			name: "constant-decay", min: 4, max: 256,
+			samples: []sim.Time{2, 2, 2, 2},
+			srtt:    []float64{2, 2, 2, 2},
+			rttvar:  []float64{1, 0.75, 0.5625, 0.421875},
+			rto:     []sim.Time{6, 5, 5, 4},
+		},
+		{
+			// A spike blows the RTO through the cap.
+			// s=10:  srtt=10, rttvar=5, rto=30
+			// s=200: rttvar=3/4·5+1/4·190=51.25; srtt=7/8·10+1/8·200=33.75;
+			//        rto=⌈238.75⌉=239 → clamp to max 64
+			name: "spike-capped", min: 4, max: 64,
+			samples: []sim.Time{10, 200},
+			srtt:    []float64{10, 33.75},
+			rttvar:  []float64{5, 51.25},
+			rto:     []sim.Time{30, 64},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewRTOEstimator(tc.min, tc.max, 16)
+			if e.Sampled() {
+				t.Fatal("fresh estimator claims to have samples")
+			}
+			if got := e.RTO(); got != 16 {
+				t.Fatalf("initial RTO = %d, want 16", got)
+			}
+			for i, s := range tc.samples {
+				e.Sample(s)
+				if !almost(e.SRTT(), tc.srtt[i]) {
+					t.Fatalf("after sample %d (%d): SRTT = %v, want %v", i, s, e.SRTT(), tc.srtt[i])
+				}
+				if !almost(e.RTTVar(), tc.rttvar[i]) {
+					t.Fatalf("after sample %d (%d): RTTVAR = %v, want %v", i, s, e.RTTVar(), tc.rttvar[i])
+				}
+				if got := e.RTO(); got != tc.rto[i] {
+					t.Fatalf("after sample %d (%d): RTO = %d, want %d", i, s, got, tc.rto[i])
+				}
+			}
+			if !e.Sampled() {
+				t.Fatal("estimator lost track of having samples")
+			}
+		})
+	}
+}
+
+// TestRTOBackoff pins the capped exponential backoff and its reset on the
+// next valid sample (Karn).
+func TestRTOBackoff(t *testing.T) {
+	e := NewRTOEstimator(4, 100, 16)
+	e.Sample(8) // srtt=8 rttvar=4 → rto=24
+	want := []sim.Time{48, 96, 100, 100}
+	for i, w := range want {
+		e.Backoff()
+		if got := e.RTO(); got != w {
+			t.Fatalf("backoff %d: RTO = %d, want %d", i+1, got, w)
+		}
+	}
+	// A fresh sample resets the backoff entirely (and updates the estimate:
+	// rttvar = 3/4·4 + 0 = 3, srtt = 8 → rto = 20).
+	e.Sample(8)
+	if got := e.RTO(); got != 20 {
+		t.Fatalf("RTO after sample = %d, want backoff reset to 20", got)
+	}
+}
+
+// TestRTOInitialClamp checks the pre-sample timeout is clamped like any
+// other.
+func TestRTOInitialClamp(t *testing.T) {
+	if got := NewRTOEstimator(8, 64, 2).RTO(); got != 8 {
+		t.Fatalf("initial RTO below min: got %d, want 8", got)
+	}
+	if got := NewRTOEstimator(8, 64, 1000).RTO(); got != 64 {
+		t.Fatalf("initial RTO above max: got %d, want 64", got)
+	}
+}

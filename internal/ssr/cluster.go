@@ -12,7 +12,7 @@ import (
 // Cluster runs SSR over an entire network and provides the convergence
 // oracle and routing-experiment helpers.
 type Cluster struct {
-	Net   *phys.Network
+	Net   phys.Transport
 	Nodes map[ids.ID]*Node
 	cfg   Config
 
@@ -22,7 +22,7 @@ type Cluster struct {
 
 // NewCluster creates one SSR node per topology node and starts them with
 // per-node jitter drawn from the engine's seeded source.
-func NewCluster(net *phys.Network, cfg Config) *Cluster {
+func NewCluster(net phys.Transport, cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{Net: net, Nodes: make(map[ids.ID]*Node), cfg: cfg}
 	nodes := net.Topology().Nodes()

@@ -157,7 +157,7 @@ type pendingOp struct {
 // Node is one SSR participant.
 type Node struct {
 	id      ids.ID
-	net     *phys.Network
+	net     phys.Transport
 	courier *phys.Courier
 	cfg     Config
 
@@ -207,7 +207,7 @@ type Node struct {
 }
 
 // NewNode creates and registers an SSR node. Call Start to begin activity.
-func NewNode(net *phys.Network, id ids.ID, cfg Config) *Node {
+func NewNode(net phys.Transport, id ids.ID, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
 		id:         id,
@@ -224,7 +224,54 @@ func NewNode(net *phys.Network, id ids.ID, cfg Config) *Node {
 	n.courier.OnDeliver = n.deliver
 	n.courier.OnForward = n.overhear
 	net.Register(id, phys.HandlerFunc(func(m phys.Message) { n.courier.Handle(m) }))
+	if fd, ok := net.(phys.FailureDetector); ok {
+		// With a reliable transport underneath, the lease detector tells us
+		// about dead physical neighbors long before our own keepalive
+		// silence threshold (deadAfter ticks) would.
+		fd.SubscribeLeases(id, n.onLease)
+	}
 	return n
+}
+
+// onLease consumes a failure-detector verdict about physical neighbor peer.
+// Down: every cached route whose first hop crosses the dead link is
+// unusable — purge it now instead of waiting out keepalive silence, and
+// tombstone the peer so gossip cannot resurrect the direct edge while it is
+// dead. Up: clear the tombstone and re-seed the direct edge (E_v := E_p for
+// the healed link).
+func (n *Node) onLease(peer ids.ID, up bool) {
+	if n.stopped {
+		return
+	}
+	if up {
+		delete(n.tornDown, peer)
+		if r, err := sroute.New(n.id, peer); err == nil {
+			if n.rc.Insert(r) {
+				n.lastHeard[peer] = n.net.Engine().Now()
+				n.traceEvent(trace.EvEdgeAdd, peer, "lease-up")
+			}
+		}
+		return
+	}
+	for _, dst := range n.rc.Destinations() {
+		if r := n.rc.Route(dst); len(r) >= 2 && r[1] == peer {
+			n.rc.Remove(dst)
+			delete(n.lastHeard, dst)
+			n.traceEvent(trace.EvEdgeDelegate, dst, "lease-down")
+		}
+	}
+	for u, e := range n.revNbrs {
+		if len(e.route) >= 2 && e.route[1] == peer {
+			delete(n.revNbrs, u)
+		}
+	}
+	if n.hasWrapLeft && (n.wrapLeft == peer || (len(n.wrapLeftRoute) >= 2 && n.wrapLeftRoute[1] == peer)) {
+		n.hasWrapLeft, n.wrapLeftRoute = false, nil
+	}
+	if n.hasWrapRight && (n.wrapRight == peer || (len(n.wrapRightRoute) >= 2 && n.wrapRightRoute[1] == peer)) {
+		n.hasWrapRight, n.wrapRightRoute = false, nil
+	}
+	n.tombstone(peer, deadAfter)
 }
 
 // ID returns the node identifier.

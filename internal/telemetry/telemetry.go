@@ -58,6 +58,9 @@ func NewServer() *Server {
 	reg.Describe("ssr_shard_activations", "sharded-executor activations, by shard and phase")
 	reg.Describe("ssr_invariant_checks", "chaos-harness invariant checks, by invariant")
 	reg.Describe("ssr_invariant_violations", "chaos-harness invariant violations, by invariant")
+	reg.Describe("ssr_retransmits", "reliable-sublayer retransmissions, by frame kind")
+	reg.Describe("ssr_rto_ticks", "latest adaptive RTO reading, by sender node")
+	reg.Describe("ssr_lease_verdicts", "failure-detector verdicts, by direction")
 	return &Server{
 		reg:     reg,
 		stats:   trace.NewStatsSink(),
@@ -114,6 +117,12 @@ func (c collector) Emit(e trace.Event) {
 		if e.Value != 0 {
 			s.reg.Counter("ssr_invariant_violations", "invariant", e.Kind).Inc()
 		}
+	case trace.EvRetransmit:
+		s.reg.Counter("ssr_retransmits", "kind", e.Kind).Inc()
+	case trace.EvRtoUpdate:
+		s.reg.Gauge("ssr_rto_ticks", "node", e.Node.String()).Set(e.Value)
+	case trace.EvLeaseExpire:
+		s.reg.Counter("ssr_lease_verdicts", "verdict", e.Aux).Inc()
 	}
 }
 

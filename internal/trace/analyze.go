@@ -113,6 +113,17 @@ type Analysis struct {
 	invChecks     map[string]int64
 	invViolations map[string]int64
 	invFirst      map[string]InvariantViolation
+
+	// Reliable-sublayer accounting (EvRetransmit / EvRtoUpdate /
+	// EvLeaseExpire). All zero on raw-transport traces.
+	retx       map[string]int64
+	maxAttempt float64
+	rtoSamples int64
+	rtoMin     float64
+	rtoMax     float64
+	rtoLast    float64
+	leaseDowns int64
+	leaseUps   int64
 }
 
 // InvariantViolation is the first recorded violation of one invariant.
@@ -131,6 +142,7 @@ func NewAnalysis() *Analysis {
 		invChecks:     make(map[string]int64),
 		invViolations: make(map[string]int64),
 		invFirst:      make(map[string]InvariantViolation),
+		retx:          make(map[string]int64),
 	}
 }
 
@@ -147,6 +159,31 @@ func (a *Analysis) Emit(e Event) {
 		a.lastT = e.T
 	}
 	a.haveT = true
+	switch e.Type {
+	case EvRetransmit:
+		a.retx[e.Kind]++
+		if e.Value > a.maxAttempt {
+			a.maxAttempt = e.Value
+		}
+		return
+	case EvRtoUpdate:
+		if a.rtoSamples == 0 || e.Value < a.rtoMin {
+			a.rtoMin = e.Value
+		}
+		if e.Value > a.rtoMax {
+			a.rtoMax = e.Value
+		}
+		a.rtoLast = e.Value
+		a.rtoSamples++
+		return
+	case EvLeaseExpire:
+		if e.Aux == "up" {
+			a.leaseUps++
+		} else {
+			a.leaseDowns++
+		}
+		return
+	}
 	if e.Type == EvInvariant {
 		a.invChecks[e.Kind]++
 		if e.Value != 0 {
@@ -243,6 +280,53 @@ func (a *Analysis) Invariants() []InvariantReport {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Invariant < out[j].Invariant })
 	return out
+}
+
+// RelReport is the reliable-sublayer story of one trace: retransmission
+// volume by frame kind, the adaptive-RTO envelope observed across all
+// links, and failure-detector verdicts. The zero value means the trace
+// carried no sublayer events (a raw-transport run).
+type RelReport struct {
+	Retransmits []KindTotal // per inner frame kind, descending count
+	Total       int64       // all retransmissions
+	MaxAttempt  int         // deepest per-frame retry seen
+	RTOSamples  int64       // EvRtoUpdate events (valid Karn RTT samples)
+	RTOMin      float64
+	RTOMax      float64
+	RTOLast     float64
+	LeaseDowns  int64 // neighbor-down verdicts
+	LeaseUps    int64 // neighbor-up verdicts
+}
+
+// Empty reports whether the trace carried no reliable-sublayer events.
+func (r RelReport) Empty() bool {
+	return r.Total == 0 && r.RTOSamples == 0 && r.LeaseDowns == 0 && r.LeaseUps == 0
+}
+
+// Rel returns the reliable-sublayer aggregates of the trace.
+func (a *Analysis) Rel() RelReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := RelReport{
+		MaxAttempt: int(a.maxAttempt),
+		RTOSamples: a.rtoSamples,
+		RTOMin:     a.rtoMin,
+		RTOMax:     a.rtoMax,
+		RTOLast:    a.rtoLast,
+		LeaseDowns: a.leaseDowns,
+		LeaseUps:   a.leaseUps,
+	}
+	for kind, c := range a.retx {
+		r.Retransmits = append(r.Retransmits, KindTotal{Kind: kind, Count: c})
+		r.Total += c
+	}
+	sort.Slice(r.Retransmits, func(i, j int) bool {
+		if r.Retransmits[i].Count != r.Retransmits[j].Count {
+			return r.Retransmits[i].Count > r.Retransmits[j].Count
+		}
+		return r.Retransmits[i].Kind < r.Retransmits[j].Kind
+	})
+	return r
 }
 
 // Taxonomy returns the per-kind send totals: from per-message events when

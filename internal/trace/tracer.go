@@ -64,6 +64,19 @@ const (
 	// Value != 0. Value is 0 for a passing check and 1 for a violation, so
 	// a trace's violation count is the sum of the series.
 	EvInvariant
+	// EvRetransmit records the reliable sublayer re-sending an unacked frame
+	// (Kind: the inner frame kind; Value: the attempt number, 1 for the
+	// first retransmission).
+	EvRetransmit
+	// EvRtoUpdate records an RTO estimator update after an RTT sample
+	// (Kind: "rto"; Value: the new retransmission timeout in ticks; Aux
+	// carries "srtt=<v> rttvar=<v>" for offline analysis).
+	EvRtoUpdate
+	// EvLeaseExpire records a failure-detector verdict about a physical
+	// neighbor (Peer). Value is 1 when the lease expired (neighbor declared
+	// down) and 0 when traffic resumed (neighbor declared up again); Aux is
+	// "down" or "up" accordingly.
+	EvLeaseExpire
 )
 
 var eventNames = [...]string{
@@ -83,6 +96,9 @@ var eventNames = [...]string{
 	EvProbe:        "probe",
 	EvShardRound:   "shard-round",
 	EvInvariant:    "invariant",
+	EvRetransmit:   "retransmit",
+	EvRtoUpdate:    "rto-update",
+	EvLeaseExpire:  "lease-expire",
 }
 
 // String names the event type (the `ev` field of the JSONL encoding).
@@ -151,7 +167,11 @@ func ParseLevel(s string) (Level, bool) {
 // LevelOf returns the intrinsic granularity of an event type.
 func LevelOf(t EventType) Level {
 	switch t {
-	case EvRoundStart, EvRoundEnd, EvRingClosed, EvCounter, EvGauge, EvProbe, EvInvariant:
+	case EvRoundStart, EvRoundEnd, EvRingClosed, EvCounter, EvGauge, EvProbe, EvInvariant,
+		EvLeaseExpire:
+		// Lease verdicts are rare and diagnostic gold under churn, so they
+		// survive coarse traces; retransmissions and RTO updates are
+		// per-frame noise and stay at LevelMsg.
 		return LevelRound
 	default:
 		return LevelMsg

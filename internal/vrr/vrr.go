@@ -194,7 +194,7 @@ type discoverAckPayload struct {
 // Node is one VRR participant.
 type Node struct {
 	id  ids.ID
-	net *phys.Network
+	net phys.Transport
 	cfg Config
 
 	beacon *phys.Beaconer
@@ -223,7 +223,7 @@ type Node struct {
 }
 
 // NewNode creates and registers a VRR node. Call Start to begin activity.
-func NewNode(net *phys.Network, id ids.ID, cfg Config) *Node {
+func NewNode(net phys.Transport, id ids.ID, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
 		id:         id,
@@ -238,7 +238,56 @@ func NewNode(net *phys.Network, id ids.ID, cfg Config) *Node {
 	n.beacon = phys.NewBeaconer(net, id, cfg.HelloInterval)
 	n.beacon.OnNewNeighbor = n.addPhysicalNeighbor
 	net.Register(id, phys.HandlerFunc(n.handle))
+	if fd, ok := net.(phys.FailureDetector); ok {
+		// The reliable transport's lease detector beats the beacon MissLimit
+		// expiry to the verdict and, unlike it, also names the broken
+		// *transit* paths through the dead neighbor.
+		fd.SubscribeLeases(id, n.onLease)
+	}
 	return n
+}
+
+// onLease consumes a failure-detector verdict about physical neighbor peer.
+// Down: every path whose physical next hop is the dead neighbor is broken —
+// drop its forwarding state now and shrink the vset to endpoints still
+// reachable, so linearization stops introducing pairs through the dead
+// link; periodic re-introduction rebuilds survivors over live links.
+// Up: reinstall the trivial 1-hop path (E_v := E_p for the healed link).
+func (n *Node) onLease(peer ids.ID, up bool) {
+	if n.stopped {
+		return
+	}
+	if up {
+		n.addPhysicalNeighbor(peer)
+		return
+	}
+	for p, e := range n.paths {
+		if (e.hasToA && e.toA == peer) || (e.hasToB && e.toB == peer) {
+			delete(n.paths, p)
+		}
+	}
+	for _, u := range n.vset.Sorted() {
+		if u == n.id {
+			continue
+		}
+		reachable := false
+		for p := range n.paths {
+			if (p.A == n.id && p.B == u) || (p.B == n.id && p.A == u) {
+				reachable = true
+				break
+			}
+		}
+		if reachable {
+			continue
+		}
+		n.vset.Remove(u)
+		if n.hasWrapLeft && n.wrapLeft == u {
+			n.hasWrapLeft = false
+		}
+		if n.hasWrapRight && n.wrapRight == u {
+			n.hasWrapRight = false
+		}
+	}
 }
 
 // ID returns the node identifier.
@@ -816,7 +865,7 @@ func (n *Node) forwardData(dp dataPayload) bool {
 
 // Cluster runs VRR over a network with a convergence oracle.
 type Cluster struct {
-	Net   *phys.Network
+	Net   phys.Transport
 	Nodes map[ids.ID]*Node
 	cfg   Config
 
@@ -825,7 +874,7 @@ type Cluster struct {
 }
 
 // NewCluster creates one VRR node per topology node and starts them.
-func NewCluster(net *phys.Network, cfg Config) *Cluster {
+func NewCluster(net phys.Transport, cfg Config) *Cluster {
 	c := &Cluster{Net: net, Nodes: make(map[ids.ID]*Node), cfg: cfg}
 	nodes := net.Topology().Nodes()
 	for _, v := range nodes {
