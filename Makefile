@@ -1,15 +1,24 @@
 GO ?= go
 
-.PHONY: check build vet test race smoke bench-trace bench-analyze bench-scale bench-scale-quick bench-chaos bench-chaos-quick bench-reliability bench-reliability-quick fuzz-smoke clean
+.PHONY: check build vet staticcheck test race smoke bench-trace bench-analyze bench-scale bench-scale-quick bench-chaos bench-chaos-quick bench-reliability bench-reliability-quick profile profile-quick perf-gate fuzz-smoke clean
 
 # The full gate: what CI (and the tier-1 driver) should run.
-check: vet build race
+check: vet staticcheck build race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when present, skip (loudly) when
+# the box doesn't have it. CI installs it explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -64,6 +73,24 @@ bench-reliability:
 # convergence claim at scale, without the raw control arms.
 bench-reliability-quick:
 	$(GO) run ./cmd/ssrsim -mode reliability -quick -n 256 -seed 1 -out /tmp/BENCH_reliability_quick.json
+
+# Per-phase profiler over every linearization variant at n=10k: span
+# instrumentation into results/BENCH_profile.json plus CPU/heap pprof
+# bundles into results/prof/. `tracectl perf` consumes the -trace output.
+profile:
+	$(GO) run ./cmd/ssrsim -mode profile -n 10000 -seed 1 -out results/BENCH_profile.json
+
+# CI smoke variant: tight round caps, fixed worker count, no pprof capture.
+# These flags must match the committed baseline's meta header exactly, or
+# perf-gate's compare refuses the diff.
+profile-quick:
+	$(GO) run ./cmd/ssrsim -mode profile -quick -n 10000 -workers 2 -seed 1 -out /tmp/BENCH_profile_quick.json
+
+# The perf-regression gate: rerun the quick profile and diff the
+# machine-independent fields (rounds, activation splits, convergence)
+# against the committed baseline. Fails on any gated drift.
+perf-gate: profile-quick
+	$(GO) run ./cmd/tracectl bench compare results/BENCH_profile_quick.json /tmp/BENCH_profile_quick.json
 
 # Short native-fuzz pass over the frame-decoding and linearize-step
 # targets (one -fuzz run per target; Go allows a single fuzz target per

@@ -54,7 +54,7 @@ import (
 
 func main() {
 	cli := exp.BindCLI(flag.CommandLine, exp.CLIOptions{
-		Modes:        "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot | scale | chaos | reliability",
+		Modes:        "compare | breakdown | route | occupancy | closure | vrr | churn | teardown | mobility | loopy | overlay | dht | boot | scale | chaos | reliability | profile",
 		DefaultMode:  "compare",
 		DefaultSizes: "16,24,32",
 	})
@@ -62,8 +62,10 @@ func main() {
 	kill := flag.Int("kill", 3, "nodes to fail for -mode churn")
 	proto := flag.String("proto", "linearization", "protocol for -mode boot: "+strings.Join(exp.ProtocolNames(), " | "))
 	probeEvery := flag.Int("probe-every", 16, "convergence-probe sampling interval in ticks for -mode boot")
-	out := flag.String("out", "", "JSON output path for -mode scale / chaos / reliability (default results/BENCH_<mode>.json)")
-	quick := flag.Bool("quick", false, "shrink -mode scale/chaos/reliability to a fast smoke run")
+	out := flag.String("out", "", "JSON output path for -mode scale / chaos / reliability / profile (default results/BENCH_<mode>.json)")
+	quick := flag.Bool("quick", false, "shrink -mode scale/chaos/reliability/profile to a fast smoke run")
+	profDir := flag.String("prof-dir", "results/prof", "pprof bundle directory for -mode profile (empty disables capture)")
+	variant := flag.String("variant", "", "restrict -mode profile to one linearization variant (pure | memory | lsn; empty: all)")
 	flag.Parse()
 
 	closeTrace, err := cli.Setup()
@@ -186,6 +188,38 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ssrsim: reliability criteria NOT met")
 			os.Exit(1)
 		}
+	case "profile":
+		// Like -mode scale, the profiler has its own defaults: one large
+		// regular graph unless -topo/-n were given explicitly.
+		profTopo, profN := graph.TopoRegular, 10000
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "topo":
+				profTopo = t
+			case "n":
+				profN = *cli.N
+			}
+		})
+		outPath := *out
+		if outPath == "" {
+			outPath = "results/BENCH_profile.json"
+			if *quick {
+				outPath = "results/BENCH_profile_quick.json"
+			}
+		}
+		rep, res, err := exp.ProfileBench(profN, profTopo, *cli.Workers, *cli.Shards, *cli.Seed, *quick, *profDir, *variant)
+		if err != nil {
+			closeTrace()
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		if err := exp.WriteProfileJSON(outPath, res); err != nil {
+			closeTrace()
+			fmt.Fprintln(os.Stderr, "ssrsim:", err)
+			os.Exit(2)
+		}
+		emit(rep)
+		fmt.Fprintf(os.Stderr, "ssrsim: wrote %s\n", outPath)
 	default:
 		fmt.Fprintf(os.Stderr, "ssrsim: unknown mode %q\n", *cli.Mode)
 		os.Exit(2)

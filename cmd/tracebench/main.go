@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/cache"
 	"repro/internal/graph"
 	"repro/internal/phys"
@@ -40,11 +41,12 @@ type result struct {
 }
 
 type report struct {
-	Bench   string   `json:"bench"`
-	Nodes   int      `json:"nodes"`
-	Topo    string   `json:"topo"`
-	Seed    int64    `json:"seed"`
-	Results []result `json:"results"`
+	Meta    benchfmt.Meta `json:"meta"`
+	Bench   string        `json:"bench"`
+	Nodes   int           `json:"nodes"`
+	Topo    string        `json:"topo"`
+	Seed    int64         `json:"seed"`
+	Results []result      `json:"results"`
 }
 
 // counting wraps a tracer to count emissions without changing its cost profile much.
@@ -90,7 +92,9 @@ func main() {
 		{"jsonl-sink", func() trace.Tracer { return trace.NewJSONLWriter(io.Discard) }},
 	}
 
-	rep := report{Bench: "ssr-bootstrap-trace-overhead", Nodes: *n, Topo: string(graph.TopoUnitDisk), Seed: *seed}
+	meta := benchfmt.NewMeta("ssr-bootstrap-trace-overhead")
+	meta.Topology, meta.Seed, meta.N = string(graph.TopoUnitDisk), *seed, *n
+	rep := report{Meta: meta, Bench: "ssr-bootstrap-trace-overhead", Nodes: *n, Topo: string(graph.TopoUnitDisk), Seed: *seed}
 	var nilMean float64
 	for _, cfg := range configs {
 		r := result{Name: cfg.name, Reps: *reps}

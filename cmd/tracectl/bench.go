@@ -5,6 +5,11 @@ package main
 // over a synthetic trace shaped like a real bootstrap (message events with
 // per-node attribution, round bookkeeping, probe samples). The result goes
 // to a JSON baseline so CI can watch for analysis-path regressions.
+//
+// `bench compare <old> <new>` diffs two BENCH_*.json artifacts leaf by
+// leaf: it refuses mismatched configurations (benchfmt.Meta headers),
+// prints every changed field, and exits non-zero when a gated field moved
+// by more than the tolerance — the CI perf gate.
 
 import (
 	"bytes"
@@ -12,22 +17,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/ids"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
 type benchResult struct {
-	Bench        string    `json:"bench"`
-	Events       int       `json:"events"`
-	Nodes        int       `json:"nodes"`
-	TraceBytes   int       `json:"trace_bytes"`
-	Reps         int       `json:"reps"`
-	PerRunMs     []float64 `json:"per_run_ms"`
-	BestMs       float64   `json:"best_ms"`
-	MeanMs       float64   `json:"mean_ms"`
-	EventsPerSec float64   `json:"events_per_sec"` // from the best rep
+	Meta         benchfmt.Meta `json:"meta"`
+	Bench        string        `json:"bench"`
+	Events       int           `json:"events"`
+	Nodes        int           `json:"nodes"`
+	TraceBytes   int           `json:"trace_bytes"`
+	Reps         int           `json:"reps"`
+	PerRunMs     []float64     `json:"per_run_ms"`
+	BestMs       float64       `json:"best_ms"`
+	MeanMs       float64       `json:"mean_ms"`
+	EventsPerSec float64       `json:"events_per_sec"` // from the best rep
 }
 
 // syntheticTrace renders n events of bootstrap-like shape to JSONL.
@@ -60,6 +69,9 @@ func syntheticTrace(n, nodes int) []byte {
 }
 
 func cmdBench(args []string) error {
+	if len(args) > 0 && args[0] == "compare" {
+		return cmdBenchCompare(args[1:])
+	}
 	fs := flag.NewFlagSet("tracectl bench", flag.ExitOnError)
 	events := fs.Int("events", 500_000, "synthetic events per rep")
 	nodes := fs.Int("nodes", 256, "distinct node ids in the synthetic trace")
@@ -67,8 +79,13 @@ func cmdBench(args []string) error {
 	out := fs.String("out", "", "write the JSON baseline here (default: stdout only)")
 	fs.Parse(args)
 
+	// The synthetic event count rides in Sizes so compare refuses baselines
+	// taken at a different trace size.
+	meta := benchfmt.NewMeta("tracectl-report-throughput")
+	meta.N, meta.Sizes = *nodes, []int{*events}
 	data := syntheticTrace(*events, *nodes)
 	res := benchResult{
+		Meta:       meta,
 		Bench:      "tracectl-report-throughput",
 		Events:     *events,
 		Nodes:      *nodes,
@@ -108,5 +125,83 @@ func cmdBench(args []string) error {
 		}
 		fmt.Println("wrote", *out)
 	}
+	return nil
+}
+
+// cmdBenchCompare diffs two bench artifacts: baseline first, candidate
+// second. Exit status 1 (via the returned error) means a gated field
+// regressed beyond tolerance.
+func cmdBenchCompare(args []string) error {
+	fs := flag.NewFlagSet("tracectl bench compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.0, "relative tolerance before a gated change counts as a regression")
+	gatePat := fs.String("gate", benchfmt.DefaultGate, "regexp of field paths the gate judges (empty: every field)")
+	force := fs.Bool("force", false, "compare even when the meta headers say the configs differ")
+	quiet := fs.Bool("quiet", false, "only print gate failures, not every changed field")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("bench compare: want <baseline.json> <candidate.json>, got %d args", fs.NArg())
+	}
+	oldF, err := benchfmt.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newF, err := benchfmt.Load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if err := oldF.Meta.CompatibleWith(newF.Meta); err != nil {
+		if !*force {
+			return fmt.Errorf("%v (use -force to compare anyway)", err)
+		}
+		fmt.Fprintf(os.Stderr, "tracectl: warning: %v (continuing under -force)\n", err)
+	}
+
+	var gate *regexp.Regexp
+	if *gatePat != "" {
+		gate, err = regexp.Compile(*gatePat)
+		if err != nil {
+			return fmt.Errorf("bench compare: -gate: %w", err)
+		}
+	}
+
+	deltas, onlyOld, onlyNew := benchfmt.Diff(oldF.Doc, newF.Doc)
+	fmt.Printf("== bench compare: baseline=%s  candidate=%s ==\n", fs.Arg(0), fs.Arg(1))
+	changed := 0
+	if !*quiet {
+		tab := metrics.NewTable("field", "baseline", "candidate", "rel")
+		for _, d := range deltas {
+			if !d.Changed() {
+				continue
+			}
+			changed++
+			tab.AddRow(d.Path, fmt.Sprintf("%g", d.Old), fmt.Sprintf("%g", d.New),
+				fmt.Sprintf("%+.1f%%", 100*d.Rel))
+		}
+		if changed > 0 {
+			fmt.Printf("\n-- changed fields (%d of %d shared) --\n", changed, len(deltas))
+			fmt.Print(tab)
+		} else {
+			fmt.Printf("no changes across %d shared fields\n", len(deltas))
+		}
+		for _, p := range onlyOld {
+			fmt.Printf("only in baseline: %s\n", p)
+		}
+		for _, p := range onlyNew {
+			fmt.Printf("only in candidate: %s\n", p)
+		}
+	}
+
+	regs := benchfmt.Regressions(deltas, gate, *tol)
+	if len(regs) > 0 {
+		fmt.Printf("\nGATE FAILED: %d gated field(s) moved beyond tol=%g\n", len(regs), *tol)
+		tab := metrics.NewTable("field", "baseline", "candidate", "rel")
+		for _, d := range regs {
+			tab.AddRow(d.Path, fmt.Sprintf("%g", d.Old), fmt.Sprintf("%g", d.New),
+				fmt.Sprintf("%+.1f%%", 100*d.Rel))
+		}
+		fmt.Print(tab)
+		return fmt.Errorf("bench compare: %d gated regression(s)", len(regs))
+	}
+	fmt.Println("gate: PASS")
 	return nil
 }

@@ -6,7 +6,9 @@
 //	tracectl report run.jsonl                 # convergence verdict, taxonomy, hot spots
 //	tracectl diff lin.jsonl isprp.jsonl       # two runs: rounds + per-type message deltas
 //	tracectl timeline -node 42 run.jsonl      # per-node (or per-round) event slice
+//	tracectl perf profiled.jsonl              # phase/shard cost breakdown + Amdahl ceiling
 //	tracectl bench -out results/BENCH_tracectl.json
+//	tracectl bench compare old.json new.json  # diff two bench artifacts (CI perf gate)
 package main
 
 import (
@@ -30,7 +32,9 @@ commands:
   report    convergence verdict, message taxonomy and per-node hot spots of one trace
   diff      compare two traces: rounds-to-converge and per-type message deltas
   timeline  print a filtered slice of events (per node, per type, per time window)
+  perf      per-phase and per-shard cost breakdown of a profiled trace (Amdahl ceiling)
   bench     measure report-path throughput and write a JSON baseline
+  bench compare  diff two BENCH_*.json artifacts with a perf-regression gate
 
 run 'tracectl <command> -h' for per-command flags`)
 	os.Exit(2)
@@ -48,6 +52,8 @@ func main() {
 		err = cmdDiff(os.Args[2:])
 	case "timeline":
 		err = cmdTimeline(os.Args[2:])
+	case "perf":
+		err = cmdPerf(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":

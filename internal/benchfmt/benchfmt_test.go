@@ -1,0 +1,131 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func TestCompatibleWith(t *testing.T) {
+	a := NewMeta("profile")
+	a.Topology, a.Seed, a.N, a.Workers = "regular", 1, 10000, 2
+	b := a
+	if err := a.CompatibleWith(b); err != nil {
+		t.Fatalf("identical metas incompatible: %v", err)
+	}
+	b.N = 100000
+	b.Seed = 2
+	err := a.CompatibleWith(b)
+	if err == nil {
+		t.Fatal("mismatched metas should be incompatible")
+	}
+	for _, want := range []string{"n 10000 vs 100000", "seed 1 vs 2"} {
+		if !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(err.Error()) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	c := a
+	c.Sizes = []int{100, 1000}
+	if err := a.CompatibleWith(c); err == nil {
+		t.Fatal("differing sizes should be incompatible")
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadReadsMetaHeader(t *testing.T) {
+	path := writeTemp(t, "a.json", `{"meta":{"schema":1,"bench":"profile","seed":7,"n":100},"rounds":12}`)
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Meta.Schema != 1 || f.Meta.Bench != "profile" || f.Meta.Seed != 7 || f.Meta.N != 100 {
+		t.Fatalf("meta = %+v", f.Meta)
+	}
+	legacy, err := Load(writeTemp(t, "b.json", `{"rounds":12}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Meta.Schema != 0 || legacy.Meta.Bench != "" {
+		t.Fatalf("legacy meta should be zero, got %+v", legacy.Meta)
+	}
+}
+
+func TestDiffFindsNumericAndBooleanLeaves(t *testing.T) {
+	old := map[string]any{
+		"meta":      map[string]any{"seed": float64(1)},
+		"rounds":    float64(10),
+		"converged": true,
+		"runs": []any{
+			map[string]any{"speedup": float64(1.0), "variant": "lsn"},
+			map[string]any{"speedup": float64(2.0)},
+		},
+		"gone": float64(5),
+	}
+	new := map[string]any{
+		"meta":      map[string]any{"seed": float64(2)}, // skipped
+		"rounds":    float64(12),
+		"converged": false,
+		"runs": []any{
+			map[string]any{"speedup": float64(1.1), "variant": "lsn"},
+			map[string]any{"speedup": float64(2.0)},
+		},
+		"fresh": float64(3),
+	}
+	deltas, onlyOld, onlyNew := Diff(old, new)
+	byPath := map[string]Delta{}
+	for _, d := range deltas {
+		byPath[d.Path] = d
+	}
+	if d := byPath["rounds"]; d.Old != 10 || d.New != 12 || d.Rel <= 0.19 || d.Rel >= 0.21 {
+		t.Fatalf("rounds delta = %+v", d)
+	}
+	if d := byPath["converged"]; d.Old != 1 || d.New != 0 {
+		t.Fatalf("converged delta = %+v", d)
+	}
+	if d := byPath["runs[1].speedup"]; d.Changed() {
+		t.Fatalf("unchanged leaf flagged: %+v", d)
+	}
+	if _, ok := byPath["meta.seed"]; ok {
+		t.Fatal("meta subtree must be skipped")
+	}
+	if _, ok := byPath["runs[0].variant"]; ok {
+		t.Fatal("string leaves must be ignored")
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "gone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "fresh" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestRegressionsGateAndTolerance(t *testing.T) {
+	deltas := []Delta{
+		{Path: "rounds", Old: 100, New: 120, Rel: 0.2},
+		{Path: "runs[0].seq_seconds", Old: 1, New: 10, Rel: 9},
+		{Path: "runs[0].boundary_activations", Old: 1000, New: 1010, Rel: 0.01},
+		{Path: "runs[0].interior_activations", Old: 1000, New: 1000, Rel: 0},
+	}
+	gate := regexp.MustCompile(DefaultGate)
+	got := Regressions(deltas, gate, 0.05)
+	if len(got) != 1 || got[0].Path != "rounds" {
+		t.Fatalf("regressions = %+v", got)
+	}
+	// Nil gate judges every changed path.
+	if got := Regressions(deltas, nil, 0.05); len(got) != 2 {
+		t.Fatalf("ungated regressions = %+v", got)
+	}
+	// Loose tolerance passes everything.
+	if got := Regressions(deltas, gate, 0.5); len(got) != 0 {
+		t.Fatalf("tolerant gate should pass, got %+v", got)
+	}
+}

@@ -15,11 +15,9 @@ package exp
 // count minus its own calm-run count, which nets out keepalive baselines.
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 
+	"repro/internal/benchfmt"
 	"repro/internal/chaos"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -47,6 +45,7 @@ type ChaosCriteria struct {
 
 // ChaosResult is the machine-readable chaos-bench record.
 type ChaosResult struct {
+	Meta      benchfmt.Meta `json:"meta"`
 	Bench     string        `json:"bench"`
 	Topology  string        `json:"topology"`
 	N         int           `json:"n"`
@@ -78,7 +77,11 @@ func chaosScenarios(quick bool) []chaos.Scenario {
 func ChaosBench(n int, topo graph.Topology, seed int64, quick bool) (Report, ChaosResult, error) {
 	scenarios := chaosScenarios(quick)
 	protos := ProtocolNames()
+	meta := benchfmt.NewMeta("chaos")
+	meta.Topology, meta.Seed, meta.N = string(topo), seed, n
+	meta.Transport, meta.Quick = transportName, quick
 	res := ChaosResult{
+		Meta:  meta,
 		Bench: "chaos", Topology: string(topo), N: n, Seed: seed,
 		Protocols: protos,
 	}
@@ -160,14 +163,5 @@ func ChaosBench(n int, topo graph.Topology, seed int64, quick bool) (Report, Cha
 
 // WriteChaosJSON writes the chaos record to path, creating the directory.
 func WriteChaosJSON(path string, res ChaosResult) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeBenchJSON(path, res)
 }

@@ -1,14 +1,31 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registered on the default mux, served behind -pprof
+	httppprof "net/http/pprof"
 	"os"
+	"time"
 
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// pprofMux builds an explicit mux carrying the standard pprof endpoints.
+// Registering on our own mux instead of importing the net/http/pprof side
+// effect keeps the handlers off http.DefaultServeMux, where any other
+// library's ListenAndServe would expose them by accident.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
 
 // SetupObservability wires the cmd/ tools' observability flags: -trace/
 // -trace-level (a JSONL event trace of every simulation the harness runs),
@@ -16,15 +33,33 @@ import (
 // telemetry server: /metrics in OpenMetrics text format, /healthz, /probe).
 // Empty flags disable their features; with all empty the harness tracer
 // stays nil and every emission site keeps its zero-cost nil-guard path.
-// The returned cleanup flushes the trace file and stops the telemetry
-// server (always non-nil).
+//
+// Every server's lifecycle is owned here: bind errors surface to the
+// caller as errors (not stderr noise from a background goroutine), and the
+// returned cleanup — always non-nil — flushes the trace file and shuts
+// both HTTP servers down gracefully.
 func SetupObservability(traceFile, traceLevel, pprofAddr, listenAddr string) (func(), error) {
+	var pprofSrv *http.Server
+	closePprof := func() {}
 	if pprofAddr != "" {
+		lis, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return func() {}, fmt.Errorf("-pprof: %w", err)
+		}
+		pprofSrv = &http.Server{Handler: pprofMux()}
 		go func() {
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+			if err := pprofSrv.Serve(lis); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "pprof:", err)
 			}
 		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof on http://%s\n", lis.Addr())
+		closePprof = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := pprofSrv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof shutdown:", err)
+			}
+		}
 	}
 
 	var telem *telemetry.Server
@@ -32,6 +67,7 @@ func SetupObservability(traceFile, traceLevel, pprofAddr, listenAddr string) (fu
 		telem = telemetry.NewServer()
 		bound, err := telem.Start(listenAddr)
 		if err != nil {
+			closePprof()
 			return func() {}, err
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics /healthz /probe on http://%s\n", bound)
@@ -44,6 +80,7 @@ func SetupObservability(traceFile, traceLevel, pprofAddr, listenAddr string) (fu
 			if telem != nil {
 				telem.Close()
 			}
+			closePprof()
 			return func() {}, fmt.Errorf("bad -trace-level %q (want off|round|msg)", traceLevel)
 		}
 		f, err := os.Create(traceFile)
@@ -51,6 +88,7 @@ func SetupObservability(traceFile, traceLevel, pprofAddr, listenAddr string) (fu
 			if telem != nil {
 				telem.Close()
 			}
+			closePprof()
 			return func() {}, fmt.Errorf("-trace: %w", err)
 		}
 		w = trace.NewJSONLWriter(f)
@@ -71,6 +109,7 @@ func SetupObservability(traceFile, traceLevel, pprofAddr, listenAddr string) (fu
 				fmt.Fprintln(os.Stderr, "telemetry close:", err)
 			}
 		}
+		closePprof()
 	}, nil
 }
 

@@ -14,11 +14,10 @@ package exp
 // (convergence where the raw protocols stall or fail outright).
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
+	"strings"
 
+	"repro/internal/benchfmt"
 	"repro/internal/chaos"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -67,6 +66,7 @@ type ReliabilityCriteria struct {
 // ReliabilityResult is the machine-readable record behind
 // results/BENCH_reliability.json.
 type ReliabilityResult struct {
+	Meta      benchfmt.Meta       `json:"meta"`
 	Bench     string              `json:"bench"`
 	Topology  string              `json:"topology"`
 	N         int                 `json:"n"`
@@ -111,7 +111,11 @@ func ReliabilityBench(n int, topo graph.Topology, seed int64, quick bool) (Repor
 		transports = []string{TransportReliable}
 	}
 	protos := ProtocolNames()
+	meta := benchfmt.NewMeta("reliability")
+	meta.Topology, meta.Seed, meta.N = string(topo), seed, n
+	meta.Transport, meta.Quick = strings.Join(transports, "+"), quick
 	res := ReliabilityResult{
+		Meta:  meta,
 		Bench: "reliability", Topology: string(topo), N: n, Seed: seed,
 		LossPcts: losses, Protocols: protos,
 	}
@@ -196,14 +200,5 @@ func ReliabilityBench(n int, topo graph.Topology, seed int64, quick bool) (Repor
 
 // WriteReliabilityJSON writes the record to path, creating the directory.
 func WriteReliabilityJSON(path string, res ReliabilityResult) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeBenchJSON(path, res)
 }

@@ -14,13 +14,11 @@ package exp
 // run is an honest "not applicable" rather than a false failure.
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"runtime"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/graph"
 	"repro/internal/linearize"
 	"repro/internal/metrics"
@@ -58,6 +56,7 @@ type ScaleCriteria struct {
 
 // ScaleResult is the machine-readable scale-bench record.
 type ScaleResult struct {
+	Meta       benchfmt.Meta `json:"meta"`
 	Bench      string        `json:"bench"`
 	Topology   string        `json:"topology"`
 	Seed       int64         `json:"seed"`
@@ -90,7 +89,11 @@ func ScaleBench(sizes []int, topo graph.Topology, workers, shards int, seed int6
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	meta := benchfmt.NewMeta("scale")
+	meta.Topology, meta.Seed, meta.Sizes = string(topo), seed, sizes
+	meta.Workers, meta.Shards, meta.Quick = workers, shards, quick
 	res := ScaleResult{
+		Meta:       meta,
 		Bench:      "scale",
 		Topology:   string(topo),
 		Seed:       seed,
@@ -173,14 +176,5 @@ func ScaleBench(sizes []int, topo graph.Topology, workers, shards int, seed int6
 
 // WriteScaleJSON writes the scale record to path, creating the directory.
 func WriteScaleJSON(path string, res ScaleResult) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeBenchJSON(path, res)
 }

@@ -73,6 +73,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ids"
+	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -147,6 +148,13 @@ type Config struct {
 	// cardinality round by round and records the distance-to-linearized
 	// series (it also feeds Tracer when its own Tracer field is set).
 	Probe *trace.Probe
+	// Prof, if set, instruments the sharded executor with the
+	// deterministic-safe performance profiler: per-phase and per-shard wall
+	// time, snapshot-rebuild cost, load imbalance and allocation deltas,
+	// emitted as EvSpan events on a side channel (see package perf). Only
+	// observed by the sharded executor (Workers > 0, Synchronous); purely
+	// observational — the result is identical with or without it.
+	Prof *perf.Profiler
 }
 
 // Stats aggregates what a run did — the raw material for experiments E5,

@@ -119,6 +119,11 @@ func (e *Engine) runSharded(maxRounds int) Stats {
 		Done:      e.Done,
 		EndRound:  p.endRound,
 	}
+	if e.cfg.Prof != nil {
+		// Guarded assignment: a nil *perf.Profiler must stay a nil
+		// interface so the runner's prof != nil fast path holds.
+		rr.Prof = e.cfg.Prof
+	}
 	if e.cfg.Variant == Memory {
 		p.props = make([][]propEdge, len(shards))
 		rr.BeginRound = p.jacobiBegin
@@ -208,7 +213,9 @@ func (p *parExec) emitShardRound(phase string, counts []int) {
 func (p *parExec) jacobiBegin(round int) {
 	p.beginRound(round)
 	e := p.e
+	t0 := e.cfg.Prof.Start()
 	p.csr = graph.NewCSRParallel(e.g, e.cfg.Workers)
+	e.cfg.Prof.End(round, "snapshot/rebuild", e.cfg.Variant.String(), t0)
 	p.preWrap, p.preSuper = false, false
 	if e.cfg.CloseRing && p.hasExt {
 		p.preWrap = p.csr.HasEdge(p.min, p.max)

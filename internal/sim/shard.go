@@ -27,7 +27,28 @@ package sim
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ShardProfiler observes the phase structure of a sharded run. The runner
+// calls every method from its sequential control goroutine: per-shard
+// durations are recorded race-free during the parallel phases (one writer
+// per shard slot) and reported via ShardTime in ascending shard order
+// after the phase barrier, so even the observation order is deterministic.
+// Implementations must only observe — feeding a measurement back into
+// protocol state breaks the executor's determinism contract.
+type ShardProfiler interface {
+	// RoundStart opens a round, before BeginRound.
+	RoundStart(round int)
+	// PhaseTime reports one phase's wall time. Phases are "begin",
+	// "prepare", "execute" (the parallel pair), "finish" and "end";
+	// absent hooks report nothing.
+	PhaseTime(round int, phase string, d time.Duration)
+	// ShardTime reports one shard's busy time inside a parallel phase.
+	ShardTime(round int, phase string, shard int, d time.Duration)
+	// RoundEnd closes a round, after EndRound.
+	RoundEnd(round int)
+}
 
 // Shard is one contiguous slice of the dense node-index space [Lo, Hi).
 // Because protocols expose nodes in ascending identifier order, a shard is
@@ -101,6 +122,9 @@ type ShardedRunner struct {
 	Finish func(round int) int
 	// EndRound runs sequentially after Finish (observability hook).
 	EndRound func(round int)
+	// Prof, when non-nil, receives phase and per-shard timings. Purely
+	// observational: it never changes the schedule or the result.
+	Prof ShardProfiler
 }
 
 // ShardResult summarizes a sharded run.
@@ -132,10 +156,21 @@ func (rr *ShardedRunner) effectiveWorkers(shards int) int {
 
 // runPhase applies fn to every shard, fanning out over the pool when it is
 // wider than one. counts[i] receives shard i's return value, so the
-// aggregate is deterministic regardless of scheduling.
-func runPhase(fn func(Shard) int, shards []Shard, workers int, counts []int) {
+// aggregate is deterministic regardless of scheduling. A non-nil durs
+// additionally receives each shard's busy time in durs[i] — one writer per
+// slot, so the parallel fan-out stays race-free.
+func runPhase(fn func(Shard) int, shards []Shard, workers int, counts []int, durs []time.Duration) {
 	if fn == nil {
 		return
+	}
+	if durs != nil {
+		inner := fn
+		fn = func(s Shard) int {
+			t0 := time.Now()
+			c := inner(s)
+			durs[s.Index] = time.Since(t0)
+			return c
+		}
 	}
 	if workers <= 1 || len(shards) == 1 {
 		for _, s := range shards {
@@ -173,6 +208,19 @@ func (rr *ShardedRunner) Run() ShardResult {
 		return res
 	}
 	counts := []int(nil)
+	durs := []time.Duration(nil)
+	prof := rr.Prof
+	// timeSeq wraps one sequential hook with profiler timing; with no
+	// profiler it costs one branch.
+	timeSeq := func(round int, name string, fn func()) {
+		if prof == nil {
+			fn()
+			return
+		}
+		t0 := time.Now()
+		fn()
+		prof.PhaseTime(round, name, time.Since(t0))
+	}
 	for round := 0; round < maxRounds; round++ {
 		n := rr.NodeCount()
 		shardCount := rr.Shards
@@ -186,28 +234,52 @@ func (rr *ShardedRunner) Run() ShardResult {
 			counts = make([]int, len(shards))
 		}
 		counts = counts[:len(shards)]
+		if prof != nil {
+			if cap(durs) < len(shards) {
+				durs = make([]time.Duration, len(shards))
+			}
+			durs = durs[:len(shards)]
+			prof.RoundStart(round)
+		}
 
 		if rr.BeginRound != nil {
-			rr.BeginRound(round)
+			timeSeq(round, "begin", func() { rr.BeginRound(round) })
 		}
-		for _, phase := range []func(int, Shard) int{rr.Prepare, rr.Execute} {
-			if phase == nil {
+		for _, ph := range []struct {
+			name string
+			fn   func(int, Shard) int
+		}{{"prepare", rr.Prepare}, {"execute", rr.Execute}} {
+			if ph.fn == nil {
 				continue
 			}
+			fn := ph.fn
 			for i := range counts {
 				counts[i] = 0
 			}
-			runPhase(func(s Shard) int { return phase(round, s) }, shards, workers, counts)
+			var t0 time.Time
+			if prof != nil {
+				t0 = time.Now()
+			}
+			runPhase(func(s Shard) int { return fn(round, s) }, shards, workers, counts, durs)
+			if prof != nil {
+				prof.PhaseTime(round, ph.name, time.Since(t0))
+				for _, s := range shards {
+					prof.ShardTime(round, ph.name, s.Index, durs[s.Index])
+				}
+			}
 			for _, c := range counts {
 				res.Activations += c
 				res.ParallelActivations += c
 			}
 		}
 		if rr.Finish != nil {
-			res.Activations += rr.Finish(round)
+			timeSeq(round, "finish", func() { res.Activations += rr.Finish(round) })
 		}
 		if rr.EndRound != nil {
-			rr.EndRound(round)
+			timeSeq(round, "end", func() { rr.EndRound(round) })
+		}
+		if prof != nil {
+			prof.RoundEnd(round)
 		}
 		res.Rounds = round + 1
 		if rr.Done() {

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -169,5 +171,85 @@ func TestEngineOptions(t *testing.T) {
 	e.SetTracer(nil)
 	if e.Tracer() != nil {
 		t.Fatal("SetTracer(nil) must clear the tracer")
+	}
+}
+
+// recordingProfiler captures the profiler call sequence for ordering checks.
+type recordingProfiler struct {
+	calls []string
+}
+
+func (r *recordingProfiler) RoundStart(round int) {
+	r.calls = append(r.calls, fmt.Sprintf("start:%d", round))
+}
+func (r *recordingProfiler) PhaseTime(round int, phase string, d time.Duration) {
+	r.calls = append(r.calls, "phase:"+phase)
+}
+func (r *recordingProfiler) ShardTime(round int, phase string, shard int, d time.Duration) {
+	r.calls = append(r.calls, fmt.Sprintf("shard:%s:%d", phase, shard))
+}
+func (r *recordingProfiler) RoundEnd(round int) {
+	r.calls = append(r.calls, fmt.Sprintf("end:%d", round))
+}
+
+// TestShardedRunnerProfilerSequence pins the deterministic observation
+// order: RoundStart, timed begin, each parallel phase followed by its
+// per-shard times in ascending shard order, finish, end, RoundEnd — and
+// that attaching a profiler changes neither rounds nor activations.
+func TestShardedRunnerProfilerSequence(t *testing.T) {
+	const n = 8
+	for _, workers := range []int{1, 4} {
+		run := func(prof ShardProfiler) ShardResult {
+			cells := make([]int, n)
+			rr := &ShardedRunner{
+				Workers:   workers,
+				Shards:    2,
+				NodeCount: func() int { return n },
+				Prof:      prof,
+				Done: func() bool {
+					for _, c := range cells {
+						if c < 1 {
+							return false
+						}
+					}
+					return true
+				},
+				BeginRound: func(int) {},
+				Prepare:    func(int, Shard) int { return 0 },
+				Execute: func(_ int, s Shard) int {
+					changed := 0
+					for i := s.Lo; i < s.Hi; i++ {
+						if cells[i] < 1 {
+							cells[i]++
+							changed++
+						}
+					}
+					return changed
+				},
+				Finish:   func(int) int { return 0 },
+				EndRound: func(int) {},
+			}
+			return rr.Run()
+		}
+		plain := run(nil)
+		rec := &recordingProfiler{}
+		profiled := run(rec)
+		if plain != profiled {
+			t.Fatalf("workers=%d: profiler changed the result: %+v vs %+v", workers, plain, profiled)
+		}
+		want := []string{
+			"start:0", "phase:begin",
+			"phase:prepare", "shard:prepare:0", "shard:prepare:1",
+			"phase:execute", "shard:execute:0", "shard:execute:1",
+			"phase:finish", "phase:end", "end:0",
+		}
+		if len(rec.calls) != len(want) {
+			t.Fatalf("workers=%d: %d profiler calls, want %d: %v", workers, len(rec.calls), len(want), rec.calls)
+		}
+		for i := range want {
+			if rec.calls[i] != want[i] {
+				t.Fatalf("workers=%d: call %d = %q, want %q (full: %v)", workers, i, rec.calls[i], want[i], rec.calls)
+			}
+		}
 	}
 }

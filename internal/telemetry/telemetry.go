@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,6 +62,13 @@ func NewServer() *Server {
 	reg.Describe("ssr_retransmits", "reliable-sublayer retransmissions, by frame kind")
 	reg.Describe("ssr_rto_ticks", "latest adaptive RTO reading, by sender node")
 	reg.Describe("ssr_lease_verdicts", "failure-detector verdicts, by direction")
+	reg.Describe("ssr_phase_seconds", "profiler wall time inside executor phases, by phase")
+	reg.Describe("ssr_shard_busy_seconds", "profiler per-shard busy time in the parallel phases, by shard and phase")
+	reg.Describe("ssr_shard_imbalance", "latest per-round load-imbalance ratio (max/mean shard busy)")
+	reg.Describe("ssr_alloc_bytes", "profiler heap bytes allocated during rounds")
+	reg.Describe("ssr_mallocs", "profiler heap objects allocated during rounds")
+	reg.Describe("ssr_gc_cycles", "profiler GC cycles completed during rounds")
+	reg.Describe("ssr_event_queue_depth", "latest engine event-queue depth after a firing")
 	return &Server{
 		reg:     reg,
 		stats:   trace.NewStatsSink(),
@@ -123,6 +131,35 @@ func (c collector) Emit(e trace.Event) {
 		s.reg.Gauge("ssr_rto_ticks", "node", e.Node.String()).Set(e.Value)
 	case trace.EvLeaseExpire:
 		s.reg.Counter("ssr_lease_verdicts", "verdict", e.Aux).Inc()
+	case trace.EvSimFire:
+		s.reg.Gauge("ssr_event_queue_depth").Set(e.Value)
+	case trace.EvSpan:
+		s.foldSpan(e)
+	}
+}
+
+// foldSpan folds one profiler span into the perf series. Timing spans
+// arrive in nanoseconds and are exported in seconds, matching the
+// OpenMetrics unit conventions.
+func (s *Server) foldSpan(e trace.Event) {
+	const nsPerSec = 1e9
+	switch {
+	case strings.HasPrefix(e.Kind, "phase/"):
+		s.reg.Counter("ssr_phase_seconds", "phase", strings.TrimPrefix(e.Kind, "phase/")).Add(e.Value / nsPerSec)
+	case strings.HasPrefix(e.Kind, "shard/"):
+		s.reg.Counter("ssr_shard_busy_seconds", "shard", e.Aux, "phase", strings.TrimPrefix(e.Kind, "shard/")).Add(e.Value / nsPerSec)
+	case e.Kind == "imbalance":
+		s.reg.Gauge("ssr_shard_imbalance").Set(e.Value)
+	case e.Kind == "allocs":
+		s.reg.Counter("ssr_alloc_bytes").Add(e.Value)
+	case e.Kind == "mallocs":
+		s.reg.Counter("ssr_mallocs").Add(e.Value)
+	case e.Kind == "gc":
+		s.reg.Counter("ssr_gc_cycles").Add(e.Value)
+	default:
+		// Ad-hoc spans (e.g. snapshot/rebuild) fold into the phase series
+		// under their full name, so nothing measured is dropped.
+		s.reg.Counter("ssr_phase_seconds", "phase", e.Kind).Add(e.Value / nsPerSec)
 	}
 }
 

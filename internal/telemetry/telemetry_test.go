@@ -196,3 +196,46 @@ func TestCollectorFoldsShardAndGaugeEvents(t *testing.T) {
 		t.Errorf("gauge = %v, want latest value 4", v)
 	}
 }
+
+func TestCollectorFoldsSpanEvents(t *testing.T) {
+	s := telemetry.NewServer()
+	tr := s.Tracer()
+	tr.Emit(trace.Event{T: 0, Type: trace.EvSpan, Kind: "phase/prepare", Value: 2e9})
+	tr.Emit(trace.Event{T: 1, Type: trace.EvSpan, Kind: "phase/prepare", Value: 1e9})
+	tr.Emit(trace.Event{T: 0, Type: trace.EvSpan, Kind: "shard/execute", Aux: "3", Value: 5e8})
+	tr.Emit(trace.Event{T: 0, Type: trace.EvSpan, Kind: "snapshot/rebuild", Aux: "memory", Value: 1e9})
+	tr.Emit(trace.Event{T: 0, Type: trace.EvSpan, Kind: "imbalance", Value: 1.75})
+	tr.Emit(trace.Event{T: 1, Type: trace.EvSpan, Kind: "imbalance", Value: 1.25})
+	tr.Emit(trace.Event{T: 0, Type: trace.EvSpan, Kind: "allocs", Value: 1024})
+	tr.Emit(trace.Event{T: 1, Type: trace.EvSpan, Kind: "allocs", Value: 1024})
+	tr.Emit(trace.Event{T: 0, Type: trace.EvSpan, Kind: "mallocs", Value: 10})
+	tr.Emit(trace.Event{T: 0, Type: trace.EvSpan, Kind: "gc", Value: 2})
+	tr.Emit(trace.Event{T: 5, Type: trace.EvSimFire, Value: 42})
+
+	reg := s.Registry()
+	if v := reg.Counter("ssr_phase_seconds", "phase", "prepare").Value(); v != 3 {
+		t.Errorf("phase prepare seconds = %v, want 3", v)
+	}
+	if v := reg.Counter("ssr_shard_busy_seconds", "shard", "3", "phase", "execute").Value(); v != 0.5 {
+		t.Errorf("shard busy seconds = %v, want 0.5", v)
+	}
+	if v := reg.Counter("ssr_phase_seconds", "phase", "snapshot/rebuild").Value(); v != 1 {
+		t.Errorf("snapshot rebuild seconds = %v, want 1", v)
+	}
+	// Imbalance is a gauge: latest reading wins.
+	if v := reg.Gauge("ssr_shard_imbalance").Value(); v != 1.25 {
+		t.Errorf("imbalance = %v, want 1.25", v)
+	}
+	if v := reg.Counter("ssr_alloc_bytes").Value(); v != 2048 {
+		t.Errorf("alloc bytes = %v, want 2048", v)
+	}
+	if v := reg.Counter("ssr_mallocs").Value(); v != 10 {
+		t.Errorf("mallocs = %v, want 10", v)
+	}
+	if v := reg.Counter("ssr_gc_cycles").Value(); v != 2 {
+		t.Errorf("gc cycles = %v, want 2", v)
+	}
+	if v := reg.Gauge("ssr_event_queue_depth").Value(); v != 42 {
+		t.Errorf("queue depth = %v, want 42", v)
+	}
+}

@@ -9,6 +9,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -124,6 +125,27 @@ type Analysis struct {
 	rtoLast    float64
 	leaseDowns int64
 	leaseUps   int64
+
+	// Profiler accounting (EvSpan + EvShardRound): per-span-kind cost
+	// aggregates, per-shard busy time and activation attribution, load
+	// imbalance, and allocation/GC deltas. All zero on unprofiled traces
+	// (EvShardRound still folds on sharded-executor traces).
+	spans      map[string]*spanAgg
+	shardBusy  map[int]float64          // shard -> busy ns across all phases
+	shardActs  map[string]map[int]int64 // phase -> shard -> activations
+	imbSum     float64
+	imbN       int64
+	imbMax     float64
+	allocBytes float64
+	mallocs    float64
+	gcCycles   float64
+}
+
+// spanAgg accumulates one span kind's cost.
+type spanAgg struct {
+	count int64
+	total float64 // sum of Value (ns for timing spans)
+	max   float64
 }
 
 // InvariantViolation is the first recorded violation of one invariant.
@@ -143,6 +165,9 @@ func NewAnalysis() *Analysis {
 		invViolations: make(map[string]int64),
 		invFirst:      make(map[string]InvariantViolation),
 		retx:          make(map[string]int64),
+		spans:         make(map[string]*spanAgg),
+		shardBusy:     make(map[int]float64),
+		shardActs:     make(map[string]map[int]int64),
 	}
 }
 
@@ -181,6 +206,19 @@ func (a *Analysis) Emit(e Event) {
 			a.leaseUps++
 		} else {
 			a.leaseDowns++
+		}
+		return
+	case EvSpan:
+		a.foldSpan(e)
+		return
+	case EvShardRound:
+		if shard, err := strconv.Atoi(e.Kind); err == nil {
+			m := a.shardActs[e.Aux]
+			if m == nil {
+				m = make(map[int]int64)
+				a.shardActs[e.Aux] = m
+			}
+			m[shard] += int64(e.Value)
 		}
 		return
 	}
@@ -361,6 +399,195 @@ func (a *Analysis) counterTotals(prefix string) []KindTotal {
 	for _, kt := range a.Stats.Counters() {
 		if strings.HasPrefix(kt.Kind, prefix) {
 			out = append(out, KindTotal{Kind: strings.TrimPrefix(kt.Kind, prefix), Count: kt.Count})
+		}
+	}
+	return out
+}
+
+// foldSpan folds one EvSpan event. Caller holds a.mu.
+func (a *Analysis) foldSpan(e Event) {
+	switch {
+	case strings.HasPrefix(e.Kind, "shard/"):
+		if shard, err := strconv.Atoi(e.Aux); err == nil {
+			a.shardBusy[shard] += e.Value
+		}
+		return // per-shard spans are attributed, not aggregated by kind
+	case e.Kind == "imbalance":
+		a.imbSum += e.Value
+		a.imbN++
+		if e.Value > a.imbMax {
+			a.imbMax = e.Value
+		}
+		return
+	case e.Kind == "allocs":
+		a.allocBytes += e.Value
+		return
+	case e.Kind == "mallocs":
+		a.mallocs += e.Value
+		return
+	case e.Kind == "gc":
+		a.gcCycles += e.Value
+		return
+	}
+	ag := a.spans[e.Kind]
+	if ag == nil {
+		ag = &spanAgg{}
+		a.spans[e.Kind] = ag
+	}
+	ag.count++
+	ag.total += e.Value
+	if e.Value > ag.max {
+		ag.max = e.Value
+	}
+}
+
+// SpanTotal is one span kind's aggregate cost over a trace.
+type SpanTotal struct {
+	Name    string
+	Count   int64
+	TotalNs float64
+	MaxNs   float64
+}
+
+// ShardPerf is one shard's cost-attribution row: wall time spent inside
+// the shard's parallel-phase work plus its activation counts by phase
+// ("propose" for Jacobi, "interior"/"boundary" for the atomic variants).
+type ShardPerf struct {
+	Shard       int
+	BusyNs      float64
+	Activations map[string]int64
+}
+
+// PerfReport is the performance story of one trace, reconstructed from the
+// profiler's EvSpan side channel and the executor's EvShardRound
+// accounting. The zero value means the trace carried neither.
+type PerfReport struct {
+	Spans  []SpanTotal // timing spans, sorted by name
+	Shards []ShardPerf // sorted by shard index
+	Rounds int64
+
+	ImbalanceMean float64 // mean over rounds of max/mean parallel shard busy
+	ImbalanceMax  float64
+
+	AllocBytes float64 // heap bytes allocated across the run
+	Mallocs    float64
+	GCCycles   float64
+}
+
+// Empty reports whether the trace carried no profiler or shard accounting.
+func (p PerfReport) Empty() bool { return len(p.Spans) == 0 && len(p.Shards) == 0 }
+
+// parallelSpan reports whether a phase span names work done inside the
+// parallel phases of the sharded executor (everything else — begin,
+// finish, end, snapshot rebuilds — is the sequential share).
+func parallelSpan(name string) bool {
+	return name == "phase/prepare" || name == "phase/execute"
+}
+
+// SeqNs returns the wall time spent in the sequential share of the rounds.
+func (p PerfReport) SeqNs() float64 {
+	var t float64
+	for _, s := range p.Spans {
+		if !parallelSpan(s.Name) {
+			t += s.TotalNs
+		}
+	}
+	return t
+}
+
+// ParNs returns the wall time spent in the parallel phases.
+func (p PerfReport) ParNs() float64 {
+	var t float64
+	for _, s := range p.Spans {
+		if parallelSpan(s.Name) {
+			t += s.TotalNs
+		}
+	}
+	return t
+}
+
+// SeqShare returns the sequential fraction of the measured round time —
+// the f in Amdahl's law.
+func (p PerfReport) SeqShare() float64 {
+	seq, par := p.SeqNs(), p.ParNs()
+	if seq+par <= 0 {
+		return 0
+	}
+	return seq / (seq + par)
+}
+
+// AmdahlCeiling returns the speedup bound 1/f implied by the sequential
+// share: no worker count can beat it. Returns 0 when the trace has no
+// timing spans (unknown), +Inf is avoided by flooring f at 1e-9.
+func (p PerfReport) AmdahlCeiling() float64 {
+	if p.SeqNs()+p.ParNs() <= 0 {
+		return 0
+	}
+	f := p.SeqShare()
+	if f < 1e-9 {
+		f = 1e-9
+	}
+	return 1 / f
+}
+
+// SpeedupAt estimates the achievable speedup with the given worker count:
+// 1 / (f + (1-f)/w), assuming perfectly balanced shards (the imbalance
+// columns say how optimistic that is).
+func (p PerfReport) SpeedupAt(workers int) float64 {
+	if workers < 1 || p.SeqNs()+p.ParNs() <= 0 {
+		return 0
+	}
+	f := p.SeqShare()
+	return 1 / (f + (1-f)/float64(workers))
+}
+
+// Perf returns the performance aggregates of the trace.
+func (a *Analysis) Perf() PerfReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := PerfReport{
+		ImbalanceMax: a.imbMax,
+		AllocBytes:   a.allocBytes,
+		Mallocs:      a.mallocs,
+		GCCycles:     a.gcCycles,
+		Rounds:       a.Stats.Rounds(),
+	}
+	if a.imbN > 0 {
+		p.ImbalanceMean = a.imbSum / float64(a.imbN)
+	}
+	for name, ag := range a.spans {
+		p.Spans = append(p.Spans, SpanTotal{Name: name, Count: ag.count, TotalNs: ag.total, MaxNs: ag.max})
+	}
+	sort.Slice(p.Spans, func(i, j int) bool { return p.Spans[i].Name < p.Spans[j].Name })
+	shardSet := make(map[int]bool, len(a.shardBusy))
+	for s := range a.shardBusy {
+		shardSet[s] = true
+	}
+	for _, m := range a.shardActs {
+		for s := range m {
+			shardSet[s] = true
+		}
+	}
+	for s := range shardSet {
+		row := ShardPerf{Shard: s, BusyNs: a.shardBusy[s], Activations: make(map[string]int64)}
+		for phase, m := range a.shardActs {
+			if c, ok := m[s]; ok {
+				row.Activations[phase] = c
+			}
+		}
+		p.Shards = append(p.Shards, row)
+	}
+	sort.Slice(p.Shards, func(i, j int) bool { return p.Shards[i].Shard < p.Shards[j].Shard })
+	return p
+}
+
+// ActivationTotals sums the per-shard activation attribution by phase —
+// the boundary-vs-interior imbalance number, trace-wide.
+func (p PerfReport) ActivationTotals() map[string]int64 {
+	out := make(map[string]int64)
+	for _, s := range p.Shards {
+		for phase, c := range s.Activations {
+			out[phase] += c
 		}
 	}
 	return out

@@ -77,6 +77,18 @@ const (
 	// down) and 0 when traffic resumed (neighbor declared up again); Aux is
 	// "down" or "up" accordingly.
 	EvLeaseExpire
+	// EvSpan is one completed performance span from the deterministic-safe
+	// profiler (internal/perf): a measured cost attributed to a phase, a
+	// shard, or an allocation series of one round. T is the round index;
+	// Kind names the span ("phase/prepare", "shard/execute",
+	// "snapshot/rebuild", "imbalance", "allocs", "mallocs", "gc"); Aux
+	// qualifies it (the shard index for shard/* spans, the variant or phase
+	// otherwise); Value carries the measurement — wall nanoseconds for
+	// timing spans, a ratio for "imbalance", byte/object/cycle deltas for
+	// the allocation spans. Spans flow on a side channel that never feeds
+	// back into protocol state: stripping every EvSpan from a profiled
+	// trace yields the byte-identical stream of an unprofiled run.
+	EvSpan
 )
 
 var eventNames = [...]string{
@@ -99,6 +111,7 @@ var eventNames = [...]string{
 	EvRetransmit:   "retransmit",
 	EvRtoUpdate:    "rto-update",
 	EvLeaseExpire:  "lease-expire",
+	EvSpan:         "span",
 }
 
 // String names the event type (the `ev` field of the JSONL encoding).
@@ -168,10 +181,13 @@ func ParseLevel(s string) (Level, bool) {
 func LevelOf(t EventType) Level {
 	switch t {
 	case EvRoundStart, EvRoundEnd, EvRingClosed, EvCounter, EvGauge, EvProbe, EvInvariant,
-		EvLeaseExpire:
+		EvLeaseExpire, EvSpan, EvShardRound:
 		// Lease verdicts are rare and diagnostic gold under churn, so they
 		// survive coarse traces; retransmissions and RTO updates are
-		// per-frame noise and stay at LevelMsg.
+		// per-frame noise and stay at LevelMsg. Spans and per-shard round
+		// accounting are bounded by shards-per-round, so they survive coarse
+		// traces too — a profiled round-level trace is exactly what
+		// `tracectl perf` consumes.
 		return LevelRound
 	default:
 		return LevelMsg
