@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/linearize"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -52,25 +53,26 @@ func SetTransport(name string) error {
 	return nil
 }
 
-// defaultWorkers/defaultShards, when set via SetExecutor, select the
-// sharded parallel round executor for every linearization run the
-// harnesses create — the same harness-wide pattern as the tracer, so the
-// cmd/ tools' -workers/-shards flags reach every experiment.
-var defaultWorkers, defaultShards int
+// defaultExec, when set via SetExecutor, selects the sharded parallel
+// round executor (pool width, partition size, partition policy) for every
+// linearization run the harnesses create — the same harness-wide pattern
+// as the tracer, so the cmd/ tools' -workers/-shards/-partition flags
+// reach every experiment.
+var defaultExec sim.ExecutorConfig
 
 // SetExecutor installs the harness-wide round-executor configuration
-// (workers 0 restores the single-threaded legacy executor). Experiments
-// that set Config.Workers themselves are left alone.
-func SetExecutor(workers, shards int) {
-	defaultWorkers, defaultShards = workers, shards
+// (Workers 0 restores the single-threaded legacy executor). Experiments
+// that configure an executor themselves are left alone.
+func SetExecutor(cfg sim.ExecutorConfig) {
+	defaultExec = cfg
 }
 
 // runLin runs one linearization experiment with the harness tracer and
 // executor configuration attached.
 func runLin(g *graph.Graph, cfg linearize.Config) (linearize.Stats, *graph.Graph) {
 	cfg.Tracer = tracer
-	if cfg.Workers == 0 {
-		cfg.Workers, cfg.Shards = defaultWorkers, defaultShards
+	if cfg.Workers == 0 && cfg.Executor == (sim.ExecutorConfig{}) {
+		cfg.Executor = defaultExec
 	}
 	return linearize.Run(g, cfg)
 }

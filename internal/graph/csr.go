@@ -85,6 +85,103 @@ func NewCSRParallel(g *Graph, workers int) *CSR {
 	return c
 }
 
+// WithEdges returns a snapshot equal to c plus the given undirected edges,
+// sharing the (immutable) node slice and index map with c — the delta
+// update that lets the Jacobi executor avoid a full O(V+E) rebuild plus
+// index re-hash per round when only a handful of edges were accepted.
+//
+// Caller contract: every endpoint must be a node of c (the executor's node
+// set is fixed for a run), and adds should be edges absent from c —
+// duplicates among adds are ignored, but an add already present in c would
+// produce a (harmless but wasteful) repeated row entry. workers bounds the
+// parallel row merge as in NewCSRParallel. An empty adds returns c itself.
+func (c *CSR) WithEdges(adds []Edge, workers int) *CSR {
+	if len(adds) == 0 {
+		return c
+	}
+	type pair struct {
+		i   int32
+		nbr ids.ID
+	}
+	pairs := make([]pair, 0, 2*len(adds))
+	for _, e := range adds {
+		iu, okU := c.index[e.U]
+		iv, okV := c.index[e.V]
+		if !okU || !okV {
+			continue // unknown endpoint: not representable in this snapshot
+		}
+		pairs = append(pairs, pair{iu, e.V}, pair{iv, e.U})
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].nbr < pairs[b].nbr
+	})
+	dd := pairs[:0]
+	for _, p := range pairs {
+		if len(dd) > 0 && dd[len(dd)-1] == p {
+			continue
+		}
+		dd = append(dd, p)
+	}
+	pairs = dd
+
+	n := len(c.nodes)
+	out := &CSR{nodes: c.nodes, index: c.index, row: make([]int32, n+1)}
+	total := int32(0)
+	p := 0
+	for i := 0; i < n; i++ {
+		out.row[i] = total
+		total += c.row[i+1] - c.row[i]
+		for p < len(pairs) && int(pairs[p].i) == i {
+			total++
+			p++
+		}
+	}
+	out.row[n] = total
+	out.nbr = make([]ids.ID, total)
+
+	merge := func(lo, hi int) {
+		p := sort.Search(len(pairs), func(k int) bool { return int(pairs[k].i) >= lo })
+		for i := lo; i < hi; i++ {
+			old := c.nbr[c.row[i]:c.row[i+1]]
+			dst := out.nbr[out.row[i]:out.row[i+1]]
+			oi, di := 0, 0
+			for p < len(pairs) && int(pairs[p].i) == i {
+				nb := pairs[p].nbr
+				for oi < len(old) && old[oi] < nb {
+					dst[di] = old[oi]
+					oi++
+					di++
+				}
+				dst[di] = nb
+				di++
+				p++
+			}
+			copy(dst[di:], old[oi:])
+		}
+	}
+	if workers <= 1 || n < 2*workers {
+		merge(0, n)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			merge(lo, hi)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 // NumNodes returns the node count.
 func (c *CSR) NumNodes() int { return len(c.nodes) }
 

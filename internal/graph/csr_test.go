@@ -125,3 +125,80 @@ func TestCSREmptyAndTiny(t *testing.T) {
 		t.Fatal("isolated node must have no row span")
 	}
 }
+
+// sameCSR asserts two snapshots agree row for row.
+func sameCSR(t *testing.T, label string, got, want *CSR) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: size mismatch: %d/%d nodes, %d/%d edges",
+			label, got.NumNodes(), want.NumNodes(), got.NumEdges(), want.NumEdges())
+	}
+	for i := 0; i < want.NumNodes(); i++ {
+		r1, r2 := want.Row(i), got.Row(i)
+		if len(r1) != len(r2) {
+			t.Fatalf("%s row %d: len %d want %d", label, i, len(r2), len(r1))
+		}
+		for k := range r1 {
+			if r1[k] != r2[k] {
+				t.Fatalf("%s row %d[%d]: %s want %s", label, i, k, r2[k], r1[k])
+			}
+		}
+	}
+}
+
+// TestCSRWithEdgesMatchesRebuild: a delta-applied snapshot must be
+// indistinguishable from a full rebuild of the mutated graph, across
+// repeated delta generations and worker counts.
+func TestCSRWithEdgesMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomTestGraph(300, 0.01, 5)
+	nodes := g.Nodes()
+	for _, workers := range []int{1, 4} {
+		gen := g.Clone()
+		c := NewCSR(gen)
+		for round := 0; round < 5; round++ {
+			var adds []Edge
+			for len(adds) < 40 {
+				u := nodes[r.Intn(len(nodes))]
+				v := nodes[r.Intn(len(nodes))]
+				if u == v || gen.HasEdge(u, v) {
+					continue
+				}
+				gen.AddEdge(u, v)
+				adds = append(adds, NewEdge(u, v))
+			}
+			c = c.WithEdges(adds, workers)
+			sameCSR(t, "delta round", c, NewCSR(gen))
+		}
+	}
+}
+
+// TestCSRWithEdgesEdgeCases: empty deltas share the snapshot, duplicate
+// adds collapse, and unknown endpoints are skipped rather than corrupting
+// the rows.
+func TestCSRWithEdgesEdgeCases(t *testing.T) {
+	g := randomTestGraph(40, 0.1, 9)
+	c := NewCSR(g)
+	if c.WithEdges(nil, 4) != c {
+		t.Fatal("empty delta must return the receiver")
+	}
+	nodes := g.Nodes()
+	var u, v ids.ID
+	found := false
+	for i := 0; i < len(nodes) && !found; i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !g.HasEdge(nodes[i], nodes[j]) {
+				u, v, found = nodes[i], nodes[j], true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("graph too dense for the test")
+	}
+	dup := []Edge{NewEdge(u, v), NewEdge(u, v), NewEdge(ids.ID(987654321), u)}
+	got := c.WithEdges(dup, 1)
+	want := g.Clone()
+	want.AddEdge(u, v)
+	sameCSR(t, "dup+unknown", got, NewCSR(want))
+}

@@ -106,6 +106,19 @@ func (g *Graph) NeighborsSorted(v ids.ID) []ids.ID {
 	return g.adj[v].Sorted()
 }
 
+// NeighborsSortedInto appends the neighbors of v in ascending identifier
+// order to dst (reusing its capacity) and returns the extended slice — the
+// allocation-free variant of NeighborsSorted for per-round hot paths.
+func (g *Graph) NeighborsSortedInto(v ids.ID, dst []ids.ID) []ids.ID {
+	base := len(dst)
+	for u := range g.adj[v] {
+		dst = append(dst, u)
+	}
+	out := dst[base:]
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return dst
+}
+
 // Degree returns the degree of v, or 0 if absent.
 func (g *Graph) Degree(v ids.ID) int { return g.adj[v].Len() }
 

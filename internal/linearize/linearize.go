@@ -120,20 +120,30 @@ type Config struct {
 	// largest node once the line is in place (§4's discovery step,
 	// abstracted). The wrap edge is exempt from linearization.
 	CloseRing bool
-	// Workers selects the executor for the Synchronous scheduler: 0 keeps
-	// the single-threaded legacy executor, k >= 1 runs the sharded parallel
-	// executor with a pool of k goroutines (see parallel.go). The final
-	// graph and stats are a pure function of the shard partition — identical
-	// for every Workers >= 1. The RandomSequential daemon is inherently
-	// serial and ignores both fields.
+	// Executor configures the sharded parallel executor for the Synchronous
+	// scheduler: pool width, partition size and partition policy (see
+	// sim.ExecutorConfig). Workers 0 keeps the single-threaded legacy
+	// executor; k >= 1 runs the sharded executor with a pool of k
+	// goroutines (see parallel.go). The final graph and stats are a pure
+	// function of the shard schedule (partition size + policy) — identical
+	// for every Workers >= 1. Shards is part of the schedule: Pure and LSN
+	// activate shard-interior nodes before cross-shard nodes, so different
+	// partitions may take different (equally valid) trajectories;
+	// Executor.Shards=1 reproduces the legacy executor's schedule exactly,
+	// and Memory is Jacobi-style and matches the legacy executor under
+	// every partition. An unknown Partition name panics in Run — validate
+	// user input with sim.NewPartitioner first. The RandomSequential daemon
+	// is inherently serial and ignores Executor entirely.
+	Executor sim.ExecutorConfig
+	// Workers is the pre-ExecutorConfig pool-width knob.
+	//
+	// Deprecated: set Executor.Workers instead. The alias is honored (when
+	// Executor.Workers is zero) for one release.
 	Workers int
-	// Shards overrides the parallel executor's partition size (<= 0:
-	// sim.DefaultShards over the node count). Unlike Workers it is part of
-	// the schedule: Pure and LSN activate shard-interior nodes before
-	// boundary nodes, so different shard counts may take different (equally
-	// valid) trajectories. Shards=1 reproduces the legacy executor's
-	// schedule exactly; Memory is Jacobi-style and matches the legacy
-	// executor under every shard count.
+	// Shards is the pre-ExecutorConfig partition-size knob.
+	//
+	// Deprecated: set Executor.Shards instead. The alias is honored (when
+	// Executor.Shards is zero) for one release.
 	Shards int
 	// OnRound, if set, is called after every round with the round number
 	// and the current virtual graph (read-only). Used for Figure 3 traces.
@@ -155,6 +165,20 @@ type Config struct {
 	// observed by the sharded executor (Workers > 0, Synchronous); purely
 	// observational — the result is identical with or without it.
 	Prof *perf.Profiler
+}
+
+// exec resolves the executor configuration, folding the deprecated
+// Workers/Shards aliases into the Executor struct (alias fields only apply
+// where the Executor field is zero).
+func (c Config) exec() sim.ExecutorConfig {
+	ex := c.Executor
+	if ex.Workers == 0 {
+		ex.Workers = c.Workers
+	}
+	if ex.Shards == 0 {
+		ex.Shards = c.Shards
+	}
+	return ex
 }
 
 // Stats aggregates what a run did — the raw material for experiments E5,
@@ -266,7 +290,7 @@ func (e *Engine) Run() Stats {
 			max = 1024
 		}
 	}
-	if e.cfg.Workers > 0 && e.cfg.Scheduler == sim.Synchronous {
+	if e.cfg.exec().Workers > 0 && e.cfg.Scheduler == sim.Synchronous {
 		return e.runSharded(max)
 	}
 	rng := rand.New(rand.NewSource(e.cfg.Seed))
@@ -337,12 +361,15 @@ func (e *Engine) Run() Stats {
 	return e.Stats()
 }
 
-// lineNeighbors returns v's current neighbors in the line view — all
-// neighbors except a wrap-edge partner — in ascending order.
-func (e *Engine) lineNeighbors(g *graph.Graph, v ids.ID) []ids.ID {
-	nbrs := g.NeighborsSorted(v)
-	out := nbrs[:0:len(nbrs)]
-	for _, u := range nbrs {
+// lineNeighborsInto appends v's current neighbors in the line view — all
+// neighbors except a wrap-edge partner — in ascending order to dst,
+// reusing its capacity, and returns the extended slice. The per-round hot
+// paths call this once per activation, so it must not allocate when dst's
+// capacity suffices.
+func (e *Engine) lineNeighborsInto(g *graph.Graph, v ids.ID, dst []ids.ID) []ids.ID {
+	dst = g.NeighborsSortedInto(v, dst)
+	out := dst[:0]
+	for _, u := range dst {
 		if !e.isWrapEdge(v, u) {
 			out = append(out, u)
 		}
@@ -363,6 +390,14 @@ type opSink struct {
 	dropped int64
 	peak    int
 	events  []trace.Event
+
+	// Per-activation scratch buffers, reused across activations. A sink is
+	// only ever driven by one goroutine at a time (per-shard sinks by their
+	// shard's worker, per-pick wave sinks by their pick's worker, the root
+	// sink by the sequential phases), so the scratch needs no locking.
+	nbrs  []ids.ID
+	keep  []ids.ID
+	chain []graph.Edge
 }
 
 func (s *opSink) addEdge() {
@@ -438,9 +473,10 @@ func (s *opSink) flush() {
 // variants (Memory, LSN). It reports whether v's proposal differs from the
 // snapshot state.
 func (e *Engine) proposeInto(staged *graph.Graph, v ids.ID, sink *opSink) bool {
-	nbrs := e.lineNeighbors(e.g, v)
+	sink.nbrs = e.lineNeighborsInto(e.g, v, sink.nbrs[:0])
+	sink.chain = appendChainEdges(sink.chain[:0], v, sink.nbrs)
 	changed := false
-	for _, c := range chainEdges(v, nbrs) {
+	for _, c := range sink.chain {
 		if staged.AddEdge(c.U, c.V) {
 			sink.addEdge()
 			sink.traceEdge(trace.EvEdgeAdd, c.U, c.V)
@@ -465,10 +501,15 @@ func (e *Engine) proposeInto(staged *graph.Graph, v ids.ID, sink *opSink) bool {
 // interior contract of the parallel executor), so the graph mutation is
 // single-writer even though shards run concurrently.
 func (e *Engine) stepInPlace(v ids.ID, sink *opSink) bool {
-	nbrs := append([]ids.ID(nil), e.lineNeighbors(e.g, v)...)
-	chain := chainEdges(v, nbrs)
+	// The neighbor list is copied into the sink's scratch before any
+	// mutation: the removals below would otherwise invalidate the
+	// iteration. All per-activation buffers come from the sink, so the
+	// steady-state hot path allocates nothing.
+	sink.nbrs = e.lineNeighborsInto(e.g, v, sink.nbrs[:0])
+	nbrs := sink.nbrs
+	sink.chain = appendChainEdges(sink.chain[:0], v, nbrs)
 	changed := false
-	for _, c := range chain {
+	for _, c := range sink.chain {
 		if e.g.AddEdge(c.U, c.V) {
 			sink.addEdge()
 			changed = true
@@ -478,16 +519,17 @@ func (e *Engine) stepInPlace(v ids.ID, sink *opSink) bool {
 		}
 	}
 	if e.cfg.Variant != Memory {
-		keepNbrs := e.keepFor(v, nbrs)
+		sink.keep = e.keepFor(v, nbrs, sink.keep[:0])
+		keepNbrs := sink.keep
 		if e.cfg.Tracer != nil {
 			sink.emit(trace.Event{
 				T: int64(e.curRound), Type: trace.EvNodeActivate,
 				Node: v, Aux: e.cfg.Variant.String(), Value: float64(len(keepNbrs)),
 			})
 		}
-		keep := ids.NewSet(keepNbrs...)
+		sortIDs(keepNbrs)
 		for _, w := range nbrs {
-			if keep.Has(w) {
+			if containsID(keepNbrs, w) {
 				continue
 			}
 			if e.g.RemoveEdge(v, w) {
@@ -504,30 +546,30 @@ func (e *Engine) stepInPlace(v ids.ID, sink *opSink) bool {
 	return changed
 }
 
-// keepFor returns the neighbors v retains under the configured variant:
-// Pure keeps only the closest neighbor per side (Algorithm 1); LSN keeps
-// the closest neighbor within each occupied exponential interval per side.
-// nbrs is v's current sorted line neighborhood.
-func (e *Engine) keepFor(v ids.ID, nbrs []ids.ID) []ids.ID {
+// keepFor appends the neighbors v retains under the configured variant to
+// dst (reusing its capacity): Pure keeps only the closest neighbor per
+// side (Algorithm 1); LSN keeps the closest neighbor within each occupied
+// exponential interval per side. nbrs is v's current sorted line
+// neighborhood.
+func (e *Engine) keepFor(v ids.ID, nbrs []ids.ID, dst []ids.ID) []ids.ID {
 	if e.cfg.Variant == Pure {
-		var out []ids.ID
 		// nbrs ascending: closest left is the last one below v, closest
 		// right the first one above.
 		for i := len(nbrs) - 1; i >= 0; i-- {
 			if nbrs[i] < v {
-				out = append(out, nbrs[i])
+				dst = append(dst, nbrs[i])
 				break
 			}
 		}
 		for _, u := range nbrs {
 			if u > v {
-				out = append(out, u)
+				dst = append(dst, u)
 				break
 			}
 		}
-		return out
+		return dst
 	}
-	return e.keepSet(e.g, v)
+	return e.keepSet(e.g, v, dst)
 }
 
 // closeRingStep abstracts §4's discovery messages: an extremal node whose
@@ -559,15 +601,15 @@ func (e *Engine) observeDegrees(g *graph.Graph) {
 	}
 }
 
-// keepSet returns the neighbors of v that v's LSN policy retains: per
-// direction, the closest neighbor within each occupied exponential
-// interval (which automatically includes the overall closest neighbor on
-// each side). Wrap-edge partners are always retained. The result is
-// O(log |space|) in size.
-func (e *Engine) keepSet(g *graph.Graph, v ids.ID) []ids.ID {
+// keepSet appends the neighbors of v that v's LSN policy retains to dst
+// (reusing its capacity): per direction, the closest neighbor within each
+// occupied exponential interval (which automatically includes the overall
+// closest neighbor on each side). Wrap-edge partners are always retained.
+// The result is O(log |space|) in size.
+func (e *Engine) keepSet(g *graph.Graph, v ids.ID, dst []ids.ID) []ids.ID {
 	var best [2][ids.NumIntervals]ids.ID
 	var has [2][ids.NumIntervals]bool
-	var out []ids.ID
+	out := dst
 	for u := range g.Neighbors(v) {
 		if e.isWrapEdge(v, u) {
 			out = append(out, u)
@@ -602,32 +644,65 @@ func (e *Engine) keepSet(g *graph.Graph, v ids.ID) []ids.ID {
 	return out
 }
 
-// chainEdges returns the chain through v's sorted neighborhood: with
-// u_1 < … < u_k < v < u_{k+1} < … < u_n the edges {u_1,u_2}, …, {u_k,v},
-// {v,u_{k+1}}, …, {u_{n-1},u_n} (Algorithm 1). For an empty neighborhood it
-// returns nil; a neighborhood entirely on one side still chains v to its
-// closest member.
-func chainEdges(v ids.ID, sortedNbrs []ids.ID) []graph.Edge {
+// appendChainEdges appends the chain through v's sorted neighborhood to
+// dst (reusing its capacity): with u_1 < … < u_k < v < u_{k+1} < … < u_n
+// the edges {u_1,u_2}, …, {u_k,v}, {v,u_{k+1}}, …, {u_{n-1},u_n}
+// (Algorithm 1). An empty neighborhood contributes nothing; a neighborhood
+// entirely on one side still chains v to its closest member.
+func appendChainEdges(dst []graph.Edge, v ids.ID, sortedNbrs []ids.ID) []graph.Edge {
 	if len(sortedNbrs) == 0 {
-		return nil
+		return dst
 	}
-	seq := make([]ids.ID, 0, len(sortedNbrs)+1)
+	prev := v
 	placed := false
+	first := true
 	for _, u := range sortedNbrs {
 		if !placed && v < u {
-			seq = append(seq, v)
-			placed = true
+			if !first {
+				dst = append(dst, graph.NewEdge(prev, v))
+			}
+			prev, first, placed = v, false, true
 		}
-		seq = append(seq, u)
+		if !first {
+			dst = append(dst, graph.NewEdge(prev, u))
+		}
+		prev, first = u, false
 	}
 	if !placed {
-		seq = append(seq, v)
+		dst = append(dst, graph.NewEdge(prev, v))
 	}
-	edges := make([]graph.Edge, 0, len(seq)-1)
-	for i := 0; i+1 < len(seq); i++ {
-		edges = append(edges, graph.NewEdge(seq[i], seq[i+1]))
+	return dst
+}
+
+// chainEdges is the allocating convenience form of appendChainEdges; the
+// hot paths use the append form with pooled buffers.
+func chainEdges(v ids.ID, sortedNbrs []ids.ID) []graph.Edge {
+	return appendChainEdges(nil, v, sortedNbrs)
+}
+
+// sortIDs sorts a small identifier slice in place by insertion sort —
+// allocation-free, unlike sort.Slice, and the keep sets it serves are
+// O(log |space|) long.
+func sortIDs(a []ids.ID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
-	return edges
+}
+
+// containsID reports whether x occurs in the ascending slice sorted.
+func containsID(sorted []ids.ID, x ids.ID) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sorted[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == x
 }
 
 // Run is the one-shot convenience entry point: linearize the virtual graph

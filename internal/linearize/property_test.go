@@ -100,7 +100,7 @@ func TestKeepSetProperties(t *testing.T) {
 		g := graph.ErdosRenyi(nodes, 0.3, r)
 		e := NewEngine(g, Config{Variant: LSN})
 		for _, v := range g.Nodes() {
-			keep := e.keepSet(g, v)
+			keep := e.keepSet(g, v, nil)
 			if len(keep) > 2*ids.NumIntervals {
 				t.Fatalf("keep set too large: %d", len(keep))
 			}

@@ -41,8 +41,8 @@ type ShardProfiler interface {
 	// RoundStart opens a round, before BeginRound.
 	RoundStart(round int)
 	// PhaseTime reports one phase's wall time. Phases are "begin",
-	// "prepare", "execute" (the parallel pair), "finish" and "end";
-	// absent hooks report nothing.
+	// "prepare", "execute" (the parallel pair), "waves" (when the runner
+	// has a Waves hook), "finish" and "end"; absent hooks report nothing.
 	PhaseTime(round int, phase string, d time.Duration)
 	// ShardTime reports one shard's busy time inside a parallel phase.
 	ShardTime(round int, phase string, shard int, d time.Duration)
@@ -61,37 +61,45 @@ type Shard struct {
 // Len returns the number of nodes in the shard.
 func (s Shard) Len() int { return s.Hi - s.Lo }
 
-// DefaultShards returns the shard count used when ShardedRunner.Shards is
-// unset: enough shards to keep every plausible worker pool busy, few enough
-// that per-shard bookkeeping stays negligible, and — deliberately — a
-// function of the node count only, never of the machine, so a seed's result
-// is reproducible everywhere.
-func DefaultShards(n int) int {
-	s := n / 512
-	if s < 1 {
-		s = 1
-	}
-	if s > 256 {
-		s = 256
-	}
-	return s
-}
+// ParallelFor runs fn for every index in [0, tasks) over the runner's
+// worker pool. fn invocations may run concurrently; the caller is
+// responsible for making them race-free (e.g. conflict-free wave picks).
+type ParallelFor func(tasks int, fn func(i int))
 
-// Partition splits n dense node indices into shardCount contiguous,
-// near-equal shards (deterministically; shard i covers [i*n/k, (i+1)*n/k)).
-func Partition(n, shardCount int) []Shard {
-	if shardCount < 1 {
-		shardCount = 1
+// makeParallelFor builds a ParallelFor over a work-stealing pool of the
+// given width, mirroring runPhase's fan-out.
+func makeParallelFor(workers int) ParallelFor {
+	return func(tasks int, fn func(i int)) {
+		if tasks <= 0 {
+			return
+		}
+		w := workers
+		if w > tasks {
+			w = tasks
+		}
+		if w <= 1 {
+			for i := 0; i < tasks; i++ {
+				fn(i)
+			}
+			return
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= tasks {
+						return
+					}
+					fn(i)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	if shardCount > n && n > 0 {
-		shardCount = n
-	}
-	out := make([]Shard, 0, shardCount)
-	for i := 0; i < shardCount; i++ {
-		s := Shard{Index: i, Lo: i * n / shardCount, Hi: (i + 1) * n / shardCount}
-		out = append(out, s)
-	}
-	return out
 }
 
 // ShardedRunner drives a round-model protocol over an identifier-interval
@@ -107,6 +115,21 @@ type ShardedRunner struct {
 	Shards    int
 	MaxRounds int // safety bound; <= 0 means 1<<20
 
+	// Partitioner selects the shard-assignment policy; nil means the
+	// contiguous baseline (Partition). The partition is computed at round 0
+	// and cached; it is recomputed when the node count changes or the
+	// policy's Refresh reports that the previous round's cross-shard
+	// activation share warrants it.
+	Partitioner Partitioner
+	// Footprint supplies per-node footprints to the Partitioner; nil means
+	// a self-only footprint of unit weight. Only consulted when the
+	// partition is (re)computed.
+	Footprint FootprintFn
+	// OnPartition, when non-nil, runs sequentially each time a new shard
+	// layout is installed — the protocol's chance to resize per-shard
+	// state before the round's phases.
+	OnPartition func(shards []Shard)
+
 	NodeCount func() int
 	Done      func() bool
 	// BeginRound runs sequentially before the phases (snapshot hook).
@@ -117,6 +140,12 @@ type ShardedRunner struct {
 	// Execute runs once per shard per round, in parallel; writes must stay
 	// within the shard's identifier interval. Returns activations.
 	Execute func(round int, s Shard) int
+	// Waves, when non-nil, runs between Execute and Finish on the control
+	// goroutine and may use pf to fan conflict-free work over the pool
+	// (the BoundaryWaves discipline). Returns activations, counted as
+	// parallel work. The hook must keep its pick schedule independent of
+	// the pool width.
+	Waves func(round int, pf ParallelFor) int
 	// Finish runs sequentially after the parallel phases (ordered merge /
 	// boundary fallback). Returns activations.
 	Finish func(round int) int
@@ -136,7 +165,10 @@ type ShardResult struct {
 	// parallel phases; Activations minus this is the sequential share
 	// (Jacobi merges and atomic boundary fallbacks).
 	ParallelActivations int
-	Workers, Shards     int
+	// WaveActivations is the subset of ParallelActivations performed by
+	// the Waves hook (cross-shard work executed in conflict-free waves).
+	WaveActivations int
+	Workers, Shards int
 }
 
 // effectiveWorkers resolves the pool width against the shard count.
@@ -210,6 +242,20 @@ func (rr *ShardedRunner) Run() ShardResult {
 	counts := []int(nil)
 	durs := []time.Duration(nil)
 	prof := rr.Prof
+	// wavePool fans the Waves hook's picks over the full pool width; unlike
+	// runPhase it is not clamped to the shard count, because wave tasks are
+	// individual nodes, not shards.
+	var wavePool ParallelFor
+	if rr.Waves != nil {
+		w := rr.Workers
+		if w <= 0 {
+			w = NewEngine(0).Workers()
+		}
+		if w < 1 {
+			w = 1
+		}
+		wavePool = makeParallelFor(w)
+	}
 	// timeSeq wraps one sequential hook with profiler timing; with no
 	// profiler it costs one branch.
 	timeSeq := func(round int, name string, fn func()) {
@@ -221,13 +267,39 @@ func (rr *ShardedRunner) Run() ShardResult {
 		fn()
 		prof.PhaseTime(round, name, time.Since(t0))
 	}
+	// The shard layout is cached across rounds; recomputing it is policy-
+	// driven (Partitioner.Refresh on the previous round's cross-shard
+	// activation share), not a per-round cost. crossShare is derived from
+	// the runner's own deterministic counters, so refresh decisions — and
+	// with them the schedule — stay identical for every worker count.
+	var (
+		shards     []Shard
+		prevN      = -1
+		crossShare float64
+	)
 	for round := 0; round < maxRounds; round++ {
 		n := rr.NodeCount()
 		shardCount := rr.Shards
 		if shardCount <= 0 {
 			shardCount = DefaultShards(n)
 		}
-		shards := Partition(n, shardCount)
+		if shards == nil || n != prevN ||
+			(rr.Partitioner != nil && rr.Partitioner.Refresh(round, crossShare)) {
+			if rr.Partitioner != nil {
+				fp := rr.Footprint
+				if fp == nil {
+					fp = func(i int) Footprint { return Footprint{Lo: i, Hi: i, Weight: 1} }
+				}
+				shards = rr.Partitioner.Assign(n, shardCount, fp)
+				validatePartition(n, shards, rr.Partitioner.Name())
+			} else {
+				shards = Partition(n, shardCount)
+			}
+			prevN = n
+			if rr.OnPartition != nil {
+				rr.OnPartition(shards)
+			}
+		}
 		workers := rr.effectiveWorkers(len(shards))
 		res.Workers, res.Shards = workers, len(shards)
 		if cap(counts) < len(shards) {
@@ -245,6 +317,7 @@ func (rr *ShardedRunner) Run() ShardResult {
 		if rr.BeginRound != nil {
 			timeSeq(round, "begin", func() { rr.BeginRound(round) })
 		}
+		roundPar, roundWave, roundSeq := 0, 0, 0
 		for _, ph := range []struct {
 			name string
 			fn   func(int, Shard) int
@@ -268,12 +341,22 @@ func (rr *ShardedRunner) Run() ShardResult {
 				}
 			}
 			for _, c := range counts {
-				res.Activations += c
-				res.ParallelActivations += c
+				roundPar += c
 			}
 		}
+		if rr.Waves != nil {
+			timeSeq(round, "waves", func() { roundWave = rr.Waves(round, wavePool) })
+		}
 		if rr.Finish != nil {
-			timeSeq(round, "finish", func() { res.Activations += rr.Finish(round) })
+			timeSeq(round, "finish", func() { roundSeq = rr.Finish(round) })
+		}
+		res.Activations += roundPar + roundWave + roundSeq
+		res.ParallelActivations += roundPar + roundWave
+		res.WaveActivations += roundWave
+		if total := roundPar + roundWave + roundSeq; total > 0 {
+			crossShare = float64(roundWave+roundSeq) / float64(total)
+		} else {
+			crossShare = 0
 		}
 		if rr.EndRound != nil {
 			timeSeq(round, "end", func() { rr.EndRound(round) })

@@ -167,10 +167,9 @@ func TestEngineOptions(t *testing.T) {
 	if e.Tracer() != &rec {
 		t.Fatal("WithTracer did not install the tracer")
 	}
-	// Deprecated shim still works.
-	e.SetTracer(nil)
+	e = NewEngine(1, WithTracer(nil))
 	if e.Tracer() != nil {
-		t.Fatal("SetTracer(nil) must clear the tracer")
+		t.Fatal("WithTracer(nil) must leave no tracer")
 	}
 }
 

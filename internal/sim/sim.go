@@ -127,12 +127,6 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // EventsExecuted returns how many events have fired so far.
 func (e *Engine) EventsExecuted() int64 { return e.events }
 
-// SetTracer installs (or with nil removes) the engine's tracer.
-//
-// Deprecated: pass WithTracer to NewEngine instead. This shim survives one
-// release for callers that attach tracers after construction.
-func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
-
 // Workers returns the configured worker-pool width for sharded executors
 // attached to this simulation: the WithWorkers value, or GOMAXPROCS when
 // unset.

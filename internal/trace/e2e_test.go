@@ -34,8 +34,7 @@ func TestSSRBootstrapTraceReplay(t *testing.T) {
 	sink := trace.NewStatsSink()
 	// Probe/round events stream to disk; per-message traffic only feeds
 	// the in-memory aggregator, keeping the file at O(rounds).
-	eng := sim.NewEngine(seed)
-	eng.SetTracer(sink)
+	eng := sim.NewEngine(seed, sim.WithTracer(sink))
 	net := phys.NewNetwork(eng, topo,
 		phys.WithTracer(trace.Tee(trace.WithLevel(w, trace.LevelRound), sink)))
 

@@ -230,8 +230,7 @@ func TestLineDistance(t *testing.T) {
 
 func TestSimEngineTracing(t *testing.T) {
 	rec := &trace.Recorder{}
-	eng := sim.NewEngine(1)
-	eng.SetTracer(rec)
+	eng := sim.NewEngine(1, sim.WithTracer(rec))
 	fired := 0
 	eng.After(1, func() { fired++ })
 	eng.After(2, func() { fired++ })
